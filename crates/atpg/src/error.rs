@@ -1,0 +1,67 @@
+//! ATPG error types.
+
+use std::error::Error;
+use std::fmt;
+
+use ssdm_itr::ItrError;
+use ssdm_sta::StaError;
+
+/// Errors produced by the test generator (infrastructure failures, not
+/// search outcomes — those are [`crate::FaultOutcome`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AtpgError {
+    /// Timing refinement failed for a non-search reason (missing cells,
+    /// unmappable gates).
+    Timing(StaError),
+}
+
+impl fmt::Display for AtpgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AtpgError::Timing(e) => write!(f, "timing analysis failed: {e}"),
+        }
+    }
+}
+
+impl Error for AtpgError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AtpgError::Timing(e) => Some(e),
+        }
+    }
+}
+
+impl From<StaError> for AtpgError {
+    fn from(e: StaError) -> AtpgError {
+        AtpgError::Timing(e)
+    }
+}
+
+/// Splits an ITR failure into "search conflict" (logic inconsistency —
+/// expected during search) and infrastructure errors.
+pub fn itr_conflict(e: ItrError) -> Result<(), AtpgError> {
+    match e {
+        ItrError::Logic(_) => Ok(()),
+        ItrError::Sta(e) => Err(AtpgError::Timing(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdm_logic::LogicError;
+    use ssdm_netlist::NetId;
+
+    #[test]
+    fn conflict_classification() {
+        assert!(itr_conflict(ItrError::Logic(LogicError::Conflict { net: NetId(0) })).is_ok());
+        assert!(itr_conflict(ItrError::Sta(StaError::NoTrigger { gate: "g".into() })).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let e = AtpgError::from(StaError::NoTrigger { gate: "g".into() });
+        assert!(e.to_string().contains("g"));
+        assert!(Error::source(&e).is_some());
+    }
+}

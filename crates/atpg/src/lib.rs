@@ -1,0 +1,44 @@
+//! Timing-based ATPG for crosstalk delay faults (Section 7 of the paper).
+//!
+//! The paper's framework needs four components, all present here or in the
+//! sibling crates: (1) a delay model able to handle min-max ranges with
+//! worst-case corner identification (`ssdm-models` / `ssdm-sta`),
+//! (2) fault excitation and propagation conditions ([`fault`], [`faulty`]),
+//! (3) a search engine implicitly enumerating the logic space
+//! ([`podem`] — a PODEM-style two-frame branch-and-bound), and
+//! (4) **ITR** recomputing timing ranges as values are specified, pruning
+//! branches whose alignment or slack requirements become impossible.
+//!
+//! The headline experiment toggles ITR pruning on and off and compares
+//! ATPG *efficiency* — the fraction of faults either detected or proven
+//! undetectable within a backtrack budget (the paper reports
+//! 39.63 % → 82.75 %).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ssdm_atpg::{Atpg, AtpgConfig};
+//! use ssdm_cells::{CellLibrary, CharConfig};
+//! use ssdm_netlist::{coupling_sites, suite};
+//!
+//! let lib = CellLibrary::characterize_standard(&CharConfig::fast())?;
+//! let c = suite::c17();
+//! let sites = coupling_sites(&c, 10, 7);
+//! let atpg = Atpg::new(&c, &lib, AtpgConfig::default());
+//! let stats = atpg.run_sites(&sites)?;
+//! println!("efficiency: {:.2}%", stats.efficiency() * 100.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fault;
+pub mod faulty;
+pub mod podem;
+
+pub use error::AtpgError;
+pub use fault::{CrosstalkFault, FaultModel};
+pub use faulty::{d_frontier, detected, faulty_frame2};
+pub use podem::{Atpg, AtpgConfig, AtpgStats, FaultOutcome, TestPair};

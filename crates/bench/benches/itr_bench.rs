@@ -1,0 +1,37 @@
+//! Cost of one incremental-timing-refinement pass (the inner loop of the
+//! ATPG) under partial assignments of increasing depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssdm_bench::fast_library;
+use ssdm_itr::Itr;
+use ssdm_logic::{Assignments, V2};
+use ssdm_netlist::suite;
+use ssdm_sta::StaConfig;
+
+fn bench_itr(c: &mut Criterion) {
+    let lib = fast_library().expect("library");
+    let circuit = suite::synthetic("c880s").expect("suite member");
+    let itr = Itr::new(&circuit, &lib, StaConfig::default());
+    let mut group = c.benchmark_group("itr_refine_c880s");
+    for frac in [0usize, 25, 50, 100] {
+        let mut base = Assignments::new(circuit.n_nets());
+        let n_assign = circuit.inputs().len() * frac / 100;
+        for (i, &pi) in circuit.inputs().iter().take(n_assign).enumerate() {
+            base.set(pi, V2::steady(i % 2 == 0)).unwrap();
+        }
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{frac}pct_pis")),
+            &base,
+            |b, base| {
+                b.iter(|| {
+                    let mut a = base.clone();
+                    itr.refine(&mut a).unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_itr);
+criterion_main!(benches);

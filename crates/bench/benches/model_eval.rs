@@ -1,0 +1,43 @@
+//! Evaluation cost of each delay model on identical stimuli.
+//!
+//! The proposed model is a handful of polynomial evaluations; the
+//! inverter-collapsing baselines re-simulate an equivalent inverter, and
+//! the reference runs the full transistor-level transient — the cost gap
+//! is why analytical models exist.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdm_bench::fast_library;
+use ssdm_core::{Edge, Time, Transition};
+use ssdm_models::{DelayModel, JunModel, PinToPinModel, ProposedModel, SpiceReference};
+
+fn bench_models(c: &mut Criterion) {
+    let lib = fast_library().expect("library");
+    let cell = lib.require("NAND2").expect("NAND2");
+    let load = cell.ref_load();
+    let stim = [
+        (0usize, Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5))),
+        (1usize, Transition::new(Edge::Fall, Time::from_ns(1.2), Time::from_ns(0.8))),
+    ];
+    let mut group = c.benchmark_group("model_eval");
+    let proposed = ProposedModel::new();
+    group.bench_function("proposed", |b| {
+        b.iter(|| proposed.response(cell, &stim, load).unwrap())
+    });
+    let p2p = PinToPinModel::new();
+    group.bench_function("pin_to_pin", |b| {
+        b.iter(|| p2p.response(cell, &stim, load).unwrap())
+    });
+    let jun = JunModel::default();
+    group.bench_function("jun_collapsing", |b| {
+        b.iter(|| jun.response(cell, &stim, load).unwrap())
+    });
+    group.sample_size(10);
+    let spice = SpiceReference::default();
+    group.bench_function("spice_reference", |b| {
+        b.iter(|| spice.response(cell, &stim, load).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

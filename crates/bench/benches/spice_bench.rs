@@ -1,0 +1,37 @@
+//! Cost of the transistor-level reference simulator — the unit of work
+//! characterization is made of.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ssdm_core::{Edge, Time, Transition};
+use ssdm_spice::{GateSim, PinState};
+
+fn bench_spice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spice");
+    let nand2 = GateSim::nand(2);
+    let nand5 = GateSim::nand(5);
+    let load = nand2.inverter_load();
+    let fall = |a: f64| {
+        PinState::Switch(Transition::new(Edge::Fall, Time::from_ns(a), Time::from_ns(0.5)))
+    };
+    group.bench_function("nand2_single_switch", |b| {
+        b.iter(|| {
+            nand2
+                .measure(&[fall(1.0), PinState::Steady(true)], load)
+                .unwrap()
+        })
+    });
+    group.bench_function("nand2_simultaneous", |b| {
+        b.iter(|| nand2.measure(&[fall(1.0), fall(1.1)], load).unwrap())
+    });
+    group.bench_function("nand5_far_position", |b| {
+        b.iter(|| {
+            nand5
+                .pin_to_pin(4, Edge::Fall, Time::from_ns(0.5), load)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spice);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Full-circuit STA throughput (Table 2's engine) on the benchmark suite,
+//! proposed vs pin-to-pin model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ssdm_bench::fast_library;
+use ssdm_netlist::suite;
+use ssdm_sta::{ModelKind, Sta, StaConfig};
+
+fn bench_sta(c: &mut Criterion) {
+    let lib = fast_library().expect("library");
+    let mut group = c.benchmark_group("sta");
+    for name in ["c17", "c880s", "c1908s"] {
+        let circuit = if name == "c17" {
+            suite::c17()
+        } else {
+            suite::synthetic(name).expect("suite member")
+        };
+        group.bench_with_input(BenchmarkId::new("proposed", name), &circuit, |b, circ| {
+            let sta = Sta::new(circ, &lib, StaConfig::default());
+            b.iter(|| sta.run().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("pin_to_pin", name), &circuit, |b, circ| {
+            let sta = Sta::new(
+                circ,
+                &lib,
+                StaConfig::default().with_model(ModelKind::PinToPin),
+            );
+            b.iter(|| sta.run().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sta);
+criterion_main!(benches);

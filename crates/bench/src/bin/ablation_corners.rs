@@ -1,0 +1,70 @@
+//! **Ablation**: how much the Figure 9 peak-aware corner search matters.
+//!
+//! STA's `A_L` corner picks the delay-maximizing input transition time
+//! `T*`, which for a bi-tonic (concave) fitted delay may be an *interior*
+//! peak rather than a window endpoint. This ablation scans the
+//! characterized library and, for sliding transition-time windows, compares
+//! the true quadratic maximum with the naive endpoints-only maximum —
+//! quantifying the delay underestimation a naive STA would commit.
+
+use ssdm_bench::full_library;
+use ssdm_core::{Edge, Time};
+use ssdm_spice::GateKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = full_library()?;
+    println!("Ablation — peak-aware vs endpoints-only delay maximization");
+    println!();
+    let mut windows_total = 0usize;
+    let mut windows_peaked = 0usize;
+    let mut worst_err = 0.0f64;
+    let mut worst_desc = String::new();
+    for cell in lib.iter() {
+        if cell.kind() == GateKind::Inv && cell.n_inputs() == 0 {
+            continue;
+        }
+        let (t_lo, t_hi) = cell.t_range();
+        for out_edge in Edge::BOTH {
+            for pos in 0..cell.n_inputs() {
+                let fit = cell.pin(out_edge, pos)?;
+                // Slide a half-range window across the characterized span.
+                let span = (t_hi - t_lo).as_ns();
+                for i in 0..8 {
+                    let lo = Time::from_ns(t_lo.as_ns() + span * i as f64 / 16.0);
+                    let hi = Time::from_ns(lo.as_ns() + span / 2.0);
+                    windows_total += 1;
+                    let t_star = fit.delay.argmax_over(lo, hi);
+                    let peak_val = fit.delay.eval(t_star);
+                    let naive = fit.delay.eval(lo).max(fit.delay.eval(hi));
+                    let err = (peak_val - naive).as_ns();
+                    if t_star != lo && t_star != hi {
+                        windows_peaked += 1;
+                        if err > worst_err {
+                            worst_err = err;
+                            worst_desc = format!(
+                                "{} pos {pos} {out_edge} window [{:.2}, {:.2}] ns",
+                                cell.name(),
+                                lo.as_ns(),
+                                hi.as_ns()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!("  windows scanned               : {windows_total}");
+    println!(
+        "  interior-peak windows         : {windows_peaked} ({:.1}%)",
+        100.0 * windows_peaked as f64 / windows_total as f64
+    );
+    println!("  worst endpoints-only underestimate: {worst_err:.4} ns");
+    if !worst_desc.is_empty() {
+        println!("    at {worst_desc}");
+    }
+    println!();
+    println!("With this library's device ratios most pin delays are monotone");
+    println!("(case 1 of Section 3.3); the peak-aware corner costs nothing and");
+    println!("protects the high-βp cells where the bi-tonic case (2) appears.");
+    Ok(())
+}

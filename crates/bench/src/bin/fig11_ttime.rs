@@ -1,0 +1,62 @@
+//! **Figure 11**: simultaneous switching on a NAND2 with `δ = 0`,
+//! `T_X = 0.5 ns`, sweeping `T_Y` — SPICE vs proposed vs Nabavi vs Jun.
+//!
+//! Expected shape (from the paper): Jun and the proposed model track the
+//! reference; Nabavi is accurate only when the two transition times are
+//! close (its formula assumes the ramps share a start time).
+
+use ssdm_bench::{full_library, header, row};
+use ssdm_core::{Edge, Time, Transition};
+use ssdm_models::{DelayModel, JunModel, NabaviModel, ProposedModel, SpiceReference};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = full_library()?;
+    let cell = lib.require("NAND2")?;
+    let load = cell.ref_load();
+    let models: Vec<Box<dyn DelayModel>> = vec![
+        Box::new(SpiceReference::default()),
+        Box::new(ProposedModel::new()),
+        Box::new(NabaviModel::default()),
+        Box::new(JunModel::default()),
+    ];
+
+    println!("Figure 11 — NAND2 simultaneous switching, δ = 0, T_X = 0.5 ns");
+    println!("{}", header("T_Y (ns)", &["spice", "proposed", "nabavi", "jun"]));
+    let t_x = Time::from_ns(0.5);
+    let base = Time::from_ns(2.0);
+    let mut errs = vec![(0.0f64, 0.0f64); models.len()]; // (near, far) from T_X
+    for i in 0..10 {
+        let t_y = 0.1 + i as f64 * 0.2;
+        let stim = [
+            (0usize, Transition::new(Edge::Fall, base, t_x)),
+            (1usize, Transition::new(Edge::Fall, base, Time::from_ns(t_y))),
+        ];
+        let mut vals = Vec::new();
+        for m in &models {
+            let r = m.response(cell, &stim, load)?;
+            vals.push((r.arrival - base).as_ns());
+        }
+        let near = (t_y - 0.5).abs() < 0.25;
+        for (e, &v) in errs.iter_mut().zip(&vals) {
+            let err = (v - vals[0]).abs();
+            if near {
+                e.0 = e.0.max(err);
+            } else {
+                e.1 = e.1.max(err);
+            }
+        }
+        println!("{}", row(&format!("{t_y:.2}"), &vals));
+    }
+    println!();
+    for (m, e) in models.iter().zip(&errs).skip(1) {
+        println!(
+            "  {:<10} worst error: {:.4} ns near T_Y ≈ T_X, {:.4} ns far from it",
+            m.name(),
+            e.0,
+            e.1
+        );
+    }
+    println!();
+    println!("(Nabavi should degrade as |T_Y − T_X| grows; jun and proposed should not.)");
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! **Table 1**: the implied transition-state settings for exciting each
+//! optimization-target extreme, reconstructed from the paper's five rules
+//! (the scanned table itself is not machine-readable; see
+//! `ssdm_itr::rules`).
+
+use ssdm_itr::rules::{table1, OptTarget};
+
+fn main() {
+    println!("Table 1 — implied values of S for obtaining the extreme cases");
+    println!("(two-input NAND; S_X = 0 rows; entries are the (S_X, S_Y) settings to try)");
+    println!();
+    let targets = OptTarget::all();
+    print!("{:>12}", "S_X S_Y");
+    for t in &targets {
+        print!("{:>14}", t.label());
+    }
+    println!();
+    for row in table1() {
+        print!("{:>8} {:>3}", row.original.0, row.original.1);
+        for settings in &row.settings {
+            let cell: Vec<String> = settings
+                .iter()
+                .map(|s| format!("({},{})", s.s_x, s.s_y))
+                .collect();
+            let cell = if cell.is_empty() { "—".to_owned() } else { cell.join(" ") };
+            print!("{cell:>14}");
+        }
+        println!();
+    }
+    println!();
+    println!("Rules (Section 5.2): a to-controlling companion speeds the output up,");
+    println!("so minima recruit it (S := 1) and maxima exclude it (S := −1, trying");
+    println!("both single-switch options when the companion is unknown).");
+}

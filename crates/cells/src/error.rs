@@ -1,0 +1,106 @@
+//! Characterization error types.
+
+use std::error::Error;
+use std::fmt;
+
+use ssdm_spice::SpiceError;
+
+/// Errors produced during characterization or library handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellError {
+    /// The least-squares system was singular (degenerate grid).
+    SingularFit {
+        /// What was being fitted.
+        what: &'static str,
+    },
+    /// Not enough sample points for the requested fit.
+    TooFewPoints {
+        /// What was being fitted.
+        what: &'static str,
+        /// Points supplied.
+        got: usize,
+        /// Points required.
+        need: usize,
+    },
+    /// The reference simulator failed during a sweep.
+    Simulation(SpiceError),
+    /// A query named a cell the library does not contain.
+    UnknownCell {
+        /// Requested cell name.
+        name: String,
+    },
+    /// A query used a pin index the cell does not have.
+    BadPin {
+        /// Requested pin.
+        pin: usize,
+        /// Number of pins on the cell.
+        n: usize,
+    },
+    /// The library text format could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Reading or writing a persisted library failed.
+    Io {
+        /// Path involved.
+        path: String,
+        /// Stringified I/O error.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::SingularFit { what } => write!(f, "singular least-squares fit for {what}"),
+            CellError::TooFewPoints { what, got, need } => {
+                write!(f, "too few points for {what}: got {got}, need {need}")
+            }
+            CellError::Simulation(e) => write!(f, "reference simulation failed: {e}"),
+            CellError::UnknownCell { name } => write!(f, "unknown cell {name:?}"),
+            CellError::BadPin { pin, n } => write!(f, "pin {pin} out of range for {n}-input cell"),
+            CellError::Parse { line, reason } => write!(f, "library parse error at line {line}: {reason}"),
+            CellError::Io { path, reason } => write!(f, "library i/o failed for {path:?}: {reason}"),
+        }
+    }
+}
+
+impl Error for CellError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CellError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for CellError {
+    fn from(e: SpiceError) -> CellError {
+        CellError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(CellError::SingularFit { what: "DR" }.to_string().contains("DR"));
+        assert!(CellError::UnknownCell { name: "NAND9".into() }
+            .to_string()
+            .contains("NAND9"));
+        let e = CellError::TooFewPoints { what: "SR", got: 2, need: 6 };
+        assert!(e.to_string().contains("got 2"));
+        assert!(CellError::BadPin { pin: 7, n: 2 }.to_string().contains("pin 7"));
+    }
+
+    #[test]
+    fn wraps_spice_error_as_source() {
+        let e = CellError::from(SpiceError::NoCrossing { level: 0.5 });
+        assert!(Error::source(&e).is_some());
+    }
+}

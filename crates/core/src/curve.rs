@@ -1,0 +1,333 @@
+//! Sampled curves and shape classification.
+//!
+//! Section 3.3 of the paper rests on the observation that every timing
+//! function of the model is, with respect to each input variable, either
+//! **monotone** or **bi-tonic** (monotonically increasing then decreasing,
+//! or the reverse). Worst-case corner identification in STA (Figure 9) is
+//! only sound under that structure, so we make it checkable: sweep the
+//! reference simulator, collect a [`Samples`] curve and classify it with
+//! [`Samples::shape`].
+
+use crate::error::CoreError;
+use crate::math::lerp;
+
+/// Shape of a sampled single-variable function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CurveShape {
+    /// Constant to within tolerance.
+    Constant,
+    /// Non-decreasing.
+    Increasing,
+    /// Non-increasing.
+    Decreasing,
+    /// Increasing then decreasing (single interior maximum).
+    RiseFall,
+    /// Decreasing then increasing (single interior minimum, e.g. the
+    /// V-shape delay-vs-skew curve).
+    FallRise,
+    /// More than one direction change: not usable for corner identification.
+    Irregular,
+}
+
+impl CurveShape {
+    /// True for the shapes on which the paper's corner identification is
+    /// sound (monotone or bi-tonic; Section 6.1's sufficient condition).
+    pub fn is_corner_searchable(self) -> bool {
+        !matches!(self, CurveShape::Irregular)
+    }
+}
+
+/// A function sampled at strictly increasing abscissae.
+///
+/// # Example
+///
+/// ```
+/// use ssdm_core::{CurveShape, Samples};
+/// let s = Samples::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 1.0, 0.5, 0.2])?;
+/// assert_eq!(s.shape(1e-9), CurveShape::RiseFall);
+/// assert_eq!(s.argmax(), 1);
+/// assert_eq!(s.interpolate(0.5), 0.5);
+/// # Ok::<(), ssdm_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Samples {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl Samples {
+    /// Creates a sampled curve.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BadSamples`] when fewer than two points are
+    /// given, lengths differ, abscissae are not strictly increasing, or any
+    /// value is non-finite.
+    pub fn new(xs: Vec<f64>, ys: Vec<f64>) -> Result<Samples, CoreError> {
+        if xs.len() != ys.len() {
+            return Err(CoreError::BadSamples {
+                reason: "xs and ys have different lengths",
+            });
+        }
+        if xs.len() < 2 {
+            return Err(CoreError::BadSamples {
+                reason: "need at least two samples",
+            });
+        }
+        if xs.iter().chain(ys.iter()).any(|v| !v.is_finite()) {
+            return Err(CoreError::BadSamples {
+                reason: "samples must be finite",
+            });
+        }
+        if xs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(CoreError::BadSamples {
+                reason: "abscissae must be strictly increasing",
+            });
+        }
+        Ok(Samples { xs, ys })
+    }
+
+    /// Collects a curve by evaluating `f` at `n` evenly spaced points on
+    /// `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CoreError::BadSamples`] when `n < 2`, `lo >= hi`, or `f`
+    /// returns a non-finite value.
+    pub fn tabulate<F: FnMut(f64) -> f64>(
+        mut f: F,
+        lo: f64,
+        hi: f64,
+        n: usize,
+    ) -> Result<Samples, CoreError> {
+        if n < 2 || lo >= hi {
+            return Err(CoreError::BadSamples {
+                reason: "tabulate needs n >= 2 and lo < hi",
+            });
+        }
+        let xs: Vec<f64> = (0..n)
+            .map(|i| lerp(lo, hi, i as f64 / (n - 1) as f64))
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| f(x)).collect();
+        Samples::new(xs, ys)
+    }
+
+    /// The abscissae.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The ordinates.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Always false: construction requires at least two samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Index of the maximum ordinate (first occurrence).
+    pub fn argmax(&self) -> usize {
+        self.ys
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite by construction"))
+            .map(|(i, _)| i)
+            .expect("non-empty by construction")
+    }
+
+    /// Index of the minimum ordinate (first occurrence).
+    pub fn argmin(&self) -> usize {
+        self.ys
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite by construction"))
+            .map(|(i, _)| i)
+            .expect("non-empty by construction")
+    }
+
+    /// Piecewise-linear interpolation at `x`, clamped to the sampled range.
+    pub fn interpolate(&self, x: f64) -> f64 {
+        if x <= self.xs[0] {
+            return self.ys[0];
+        }
+        if x >= *self.xs.last().expect("non-empty") {
+            return *self.ys.last().expect("non-empty");
+        }
+        // partition_point: first index with xs[i] > x; >= 1 by the guard above.
+        let hi = self.xs.partition_point(|&xi| xi <= x);
+        let lo = hi - 1;
+        let t = (x - self.xs[lo]) / (self.xs[hi] - self.xs[lo]);
+        lerp(self.ys[lo], self.ys[hi], t)
+    }
+
+    /// Classifies the shape, treating ordinate changes of magnitude `<= tol`
+    /// as flat.
+    pub fn shape(&self, tol: f64) -> CurveShape {
+        let mut dirs: Vec<i8> = Vec::new();
+        for w in self.ys.windows(2) {
+            let d = w[1] - w[0];
+            let dir = if d > tol {
+                1
+            } else if d < -tol {
+                -1
+            } else {
+                0
+            };
+            if dir != 0 && dirs.last() != Some(&dir) {
+                dirs.push(dir);
+            }
+        }
+        match dirs.as_slice() {
+            [] => CurveShape::Constant,
+            [1] => CurveShape::Increasing,
+            [-1] => CurveShape::Decreasing,
+            [1, -1] => CurveShape::RiseFall,
+            [-1, 1] => CurveShape::FallRise,
+            _ => CurveShape::Irregular,
+        }
+    }
+
+    /// Root-mean-square difference of the ordinates against another curve
+    /// sampled at the same abscissae.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the abscissae differ.
+    pub fn rms_error(&self, other: &Samples) -> f64 {
+        assert_eq!(self.xs, other.xs, "rms_error: mismatched abscissae");
+        let sum: f64 = self
+            .ys
+            .iter()
+            .zip(&other.ys)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum();
+        (sum / self.ys.len() as f64).sqrt()
+    }
+
+    /// Maximum absolute ordinate difference against another curve sampled at
+    /// the same abscissae.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the abscissae differ.
+    pub fn max_abs_error(&self, other: &Samples) -> f64 {
+        assert_eq!(self.xs, other.xs, "max_abs_error: mismatched abscissae");
+        self.ys
+            .iter()
+            .zip(&other.ys)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(xs: &[f64], ys: &[f64]) -> Samples {
+        Samples::new(xs.to_vec(), ys.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(Samples::new(vec![0.0], vec![1.0]).is_err());
+        assert!(Samples::new(vec![0.0, 1.0], vec![1.0]).is_err());
+        assert!(Samples::new(vec![1.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(Samples::new(vec![0.0, 0.0], vec![1.0, 2.0]).is_err());
+        assert!(Samples::new(vec![0.0, f64::NAN], vec![1.0, 2.0]).is_err());
+        assert!(Samples::new(vec![0.0, 1.0], vec![1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn shapes() {
+        assert_eq!(s(&[0., 1., 2.], &[1., 1., 1.]).shape(1e-9), CurveShape::Constant);
+        assert_eq!(s(&[0., 1., 2.], &[0., 1., 2.]).shape(1e-9), CurveShape::Increasing);
+        assert_eq!(s(&[0., 1., 2.], &[2., 1., 0.]).shape(1e-9), CurveShape::Decreasing);
+        assert_eq!(
+            s(&[0., 1., 2., 3.], &[0., 2., 1., 0.]).shape(1e-9),
+            CurveShape::RiseFall
+        );
+        assert_eq!(
+            s(&[0., 1., 2., 3.], &[2., 0., 1., 3.]).shape(1e-9),
+            CurveShape::FallRise
+        );
+        assert_eq!(
+            s(&[0., 1., 2., 3., 4.], &[0., 1., 0., 1., 0.]).shape(1e-9),
+            CurveShape::Irregular
+        );
+        assert!(CurveShape::RiseFall.is_corner_searchable());
+        assert!(!CurveShape::Irregular.is_corner_searchable());
+    }
+
+    #[test]
+    fn shape_tolerance_flattens_noise() {
+        // Tiny wiggle on an increasing ramp stays Increasing with a loose tol.
+        let c = s(&[0., 1., 2., 3.], &[0.0, 1.0, 0.999, 2.0]);
+        assert_eq!(c.shape(0.01), CurveShape::Increasing);
+        assert_eq!(c.shape(1e-6), CurveShape::Irregular);
+    }
+
+    #[test]
+    fn extrema_and_interpolation() {
+        let c = s(&[0., 1., 2., 3.], &[0., 3., 2., -1.]);
+        assert_eq!(c.argmax(), 1);
+        assert_eq!(c.argmin(), 3);
+        assert_eq!(c.interpolate(-5.0), 0.0);
+        assert_eq!(c.interpolate(9.0), -1.0);
+        assert_eq!(c.interpolate(0.5), 1.5);
+        assert_eq!(c.interpolate(2.5), 0.5);
+        assert_eq!(c.interpolate(1.0), 3.0);
+    }
+
+    #[test]
+    fn tabulate_evaluates_endpoints() {
+        let c = Samples::tabulate(|x| x * x, -1.0, 1.0, 5).unwrap();
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.xs()[0], -1.0);
+        assert_eq!(*c.xs().last().unwrap(), 1.0);
+        assert_eq!(c.shape(1e-12), CurveShape::FallRise);
+        assert!(Samples::tabulate(|x| x, 1.0, 0.0, 5).is_err());
+        assert!(Samples::tabulate(|x| x, 0.0, 1.0, 1).is_err());
+        assert!(Samples::tabulate(|_| f64::NAN, 0.0, 1.0, 3).is_err());
+    }
+
+    #[test]
+    fn error_metrics() {
+        let a = s(&[0., 1.], &[0., 0.]);
+        let b = s(&[0., 1.], &[3., 4.]);
+        assert_eq!(a.max_abs_error(&b), 4.0);
+        assert!((a.rms_error(&b) - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(a.rms_error(&a), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn interpolation_brackets_sample_values(ys in prop::collection::vec(-5.0..5.0f64, 2..20),
+                                                t in 0.0..1.0f64) {
+            let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+            let c = Samples::new(xs, ys.clone()).unwrap();
+            let x = t * (ys.len() - 1) as f64;
+            let y = c.interpolate(x);
+            let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(y >= lo - 1e-12 && y <= hi + 1e-12);
+        }
+
+        #[test]
+        fn monotone_inputs_classified_monotone(mut ys in prop::collection::vec(-5.0..5.0f64, 3..20)) {
+            ys.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let xs: Vec<f64> = (0..ys.len()).map(|i| i as f64).collect();
+            let c = Samples::new(xs, ys).unwrap();
+            let shape = c.shape(1e-12);
+            prop_assert!(matches!(shape, CurveShape::Increasing | CurveShape::Constant));
+        }
+    }
+}

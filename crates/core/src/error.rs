@@ -1,0 +1,70 @@
+//! Error types for core primitives.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by core timing primitives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An interval was constructed with its smallest bound above its largest.
+    InvertedBound {
+        /// Offending smallest value (ns).
+        s: f64,
+        /// Offending largest value (ns).
+        l: f64,
+    },
+    /// A value that must be finite was NaN or infinite.
+    NotFinite {
+        /// Name of the offending quantity.
+        what: &'static str,
+    },
+    /// A V-shape was built from knees that do not bracket the vertex.
+    MalformedVShape {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A sampled curve had too few points or unsorted abscissae.
+    BadSamples {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvertedBound { s, l } => {
+                write!(f, "inverted bound: smallest {s}ns exceeds largest {l}ns")
+            }
+            CoreError::NotFinite { what } => write!(f, "{what} must be finite"),
+            CoreError::MalformedVShape { reason } => write!(f, "malformed v-shape: {reason}"),
+            CoreError::BadSamples { reason } => write!(f, "bad samples: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_lowercase_and_informative() {
+        let e = CoreError::InvertedBound { s: 2.0, l: 1.0 };
+        let msg = e.to_string();
+        assert!(msg.contains("2ns"));
+        assert!(msg.contains("1ns"));
+        assert!(msg.starts_with(char::is_lowercase));
+        assert_eq!(
+            CoreError::NotFinite { what: "arrival" }.to_string(),
+            "arrival must be finite"
+        );
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<CoreError>();
+    }
+}

@@ -1,0 +1,56 @@
+//! Timing primitives shared by every crate in the SSDM workspace.
+//!
+//! This crate defines the vocabulary of the simultaneous-switching delay
+//! model from Chen, Gupta and Breuer, *"A New Gate Delay Model for
+//! Simultaneous Switching and Its Applications"*, DAC 2001:
+//!
+//! * [`Time`], [`Voltage`] and [`Capacitance`] newtypes with the unit
+//!   conventions used throughout the workspace (nanoseconds, volts,
+//!   femtofarads),
+//! * [`Edge`] (rising/falling) and [`Transition`] (a saturating-ramp input
+//!   event with an arrival time and a transition time),
+//! * [`Bound`], the smallest/largest interval that static timing analysis
+//!   propagates for arrival and transition times,
+//! * [`curve`], sampled-curve utilities used to classify the
+//!   monotone/bi-tonic shapes the paper relies on for worst-case corner
+//!   identification (Section 3.3 and Figure 9),
+//! * [`VShape`], the three-point piecewise-linear skew-to-delay
+//!   approximation at the heart of the proposed model (Figure 2).
+//!
+//! # Example
+//!
+//! ```
+//! use ssdm_core::{Time, Bound, VShape};
+//!
+//! // Delay of a 2-input NAND as a function of input skew: pin-to-pin
+//! // 0.30 ns from either input, sped up to 0.17 ns at zero skew.
+//! let v = VShape::new(
+//!     (Time::from_ns(-0.25), Time::from_ns(0.30)),
+//!     (Time::ZERO, Time::from_ns(0.17)),
+//!     (Time::from_ns(0.25), Time::from_ns(0.30)),
+//! ).unwrap();
+//! assert_eq!(v.eval(Time::ZERO), Time::from_ns(0.17));
+//! // Outside the δ-simultaneous window the single-switch delay applies.
+//! assert_eq!(v.eval(Time::from_ns(1.0)), Time::from_ns(0.30));
+//! // The minimum over a skew interval is what STA's early corner needs.
+//! let w = Bound::new(Time::from_ns(-0.1), Time::from_ns(0.4)).unwrap();
+//! assert_eq!(v.min_over(w), Time::from_ns(0.17));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bound;
+pub mod curve;
+pub mod error;
+pub mod math;
+pub mod transition;
+pub mod units;
+pub mod vshape;
+
+pub use bound::Bound;
+pub use curve::{CurveShape, Samples};
+pub use error::CoreError;
+pub use transition::{Edge, Transition};
+pub use units::{Capacitance, Time, Voltage};
+pub use vshape::VShape;

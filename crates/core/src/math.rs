@@ -1,0 +1,187 @@
+//! Small numeric helpers: interpolation, unimodal optimization, root
+//! bracketing.
+//!
+//! These are deliberately dependency-free. The delay-model curves the paper
+//! builds on are smooth and low-dimensional, so golden-section search and
+//! bisection are entirely adequate.
+
+/// Linear interpolation: `a + t·(b − a)`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(ssdm_core::math::lerp(1.0, 3.0, 0.5), 2.0);
+/// ```
+#[inline]
+pub fn lerp(a: f64, b: f64, t: f64) -> f64 {
+    a + t * (b - a)
+}
+
+/// Inverse linear interpolation: the `t` such that `lerp(a, b, t) = x`.
+///
+/// # Panics
+///
+/// Panics if `a == b`.
+#[inline]
+pub fn inv_lerp(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a != b, "inv_lerp: degenerate span");
+    (x - a) / (b - a)
+}
+
+/// Golden-section search for the **maximum** of a unimodal function on
+/// `[lo, hi]`, to absolute abscissa tolerance `tol`.
+///
+/// Returns `(x*, f(x*))`. If `f` is not unimodal the result is a local
+/// maximum within the bracket.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `tol <= 0`.
+pub fn golden_max<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64) -> (f64, f64) {
+    assert!(lo <= hi, "golden_max: inverted bracket");
+    assert!(tol > 0.0, "golden_max: non-positive tolerance");
+    const INV_PHI: f64 = 0.618_033_988_749_894_8;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = f(c);
+    let mut fd = f(d);
+    while (b - a).abs() > tol {
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    let fx = f(x);
+    (x, fx)
+}
+
+/// Golden-section search for the **minimum** of a unimodal function on
+/// `[lo, hi]`.
+///
+/// See [`golden_max`] for the contract.
+pub fn golden_min<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64) -> (f64, f64) {
+    let (x, negfx) = golden_max(|x| -f(x), lo, hi, tol);
+    (x, -negfx)
+}
+
+/// Bisection root finder for a continuous `f` with `f(lo)` and `f(hi)` of
+/// opposite signs; returns the abscissa where `f` crosses zero to within
+/// `tol`.
+///
+/// Returns `None` if the endpoints do not bracket a sign change.
+///
+/// # Panics
+///
+/// Panics if `lo > hi` or `tol <= 0`.
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, lo: f64, hi: f64, tol: f64) -> Option<f64> {
+    assert!(lo <= hi, "bisect: inverted bracket");
+    assert!(tol > 0.0, "bisect: non-positive tolerance");
+    let mut a = lo;
+    let mut b = hi;
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Some(a);
+    }
+    if fb == 0.0 {
+        return Some(b);
+    }
+    if fa.signum() == fb.signum() {
+        return None;
+    }
+    while b - a > tol {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 {
+            return Some(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Some(0.5 * (a + b))
+}
+
+/// Relative/absolute closeness test used by validation code:
+/// `|a − b| ≤ atol + rtol·max(|a|, |b|)`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64, rtol: f64, atol: f64) -> bool {
+    (a - b).abs() <= atol + rtol * a.abs().max(b.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lerp_endpoints() {
+        assert_eq!(lerp(2.0, 5.0, 0.0), 2.0);
+        assert_eq!(lerp(2.0, 5.0, 1.0), 5.0);
+        assert_eq!(inv_lerp(2.0, 5.0, 3.5), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn inv_lerp_rejects_degenerate() {
+        let _ = inv_lerp(1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn golden_max_finds_parabola_peak() {
+        let (x, fx) = golden_max(|x| -(x - 1.3) * (x - 1.3) + 2.0, -10.0, 10.0, 1e-9);
+        assert!((x - 1.3).abs() < 1e-6);
+        assert!((fx - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn golden_max_monotone_hits_endpoint() {
+        let (x, _) = golden_max(|x| x, 0.0, 4.0, 1e-9);
+        assert!((x - 4.0).abs() < 1e-6);
+        let (x, _) = golden_max(|x| -x, 0.0, 4.0, 1e-9);
+        assert!(x.abs() < 1e-6);
+    }
+
+    #[test]
+    fn golden_min_finds_valley() {
+        let (x, fx) = golden_min(|x| (x + 0.5).powi(2) - 1.0, -3.0, 3.0, 1e-9);
+        assert!((x + 0.5).abs() < 1e-6);
+        assert!((fx + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn bisect_finds_root() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bisect_rejects_same_sign() {
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9).is_none());
+    }
+
+    #[test]
+    fn bisect_exact_endpoint_root() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-9), Some(0.0));
+    }
+
+    #[test]
+    fn approx_eq_tolerances() {
+        assert!(approx_eq(1.0, 1.0 + 1e-9, 1e-6, 0.0));
+        assert!(!approx_eq(1.0, 1.1, 1e-6, 1e-6));
+        assert!(approx_eq(0.0, 1e-9, 0.0, 1e-8));
+    }
+}

@@ -1,0 +1,218 @@
+//! Signal edges and input transitions.
+
+use std::fmt;
+
+use crate::units::Time;
+
+/// The direction of a signal transition.
+///
+/// The paper writes `tr ∈ {R, F}` with `R̄ = F` and `F̄ = R`; the complement
+/// is [`Edge::inverted`]. For a NAND/NOR gate the output responds with the
+/// inverted edge of a to-controlling input transition.
+///
+/// # Example
+///
+/// ```
+/// use ssdm_core::Edge;
+/// assert_eq!(Edge::Rise.inverted(), Edge::Fall);
+/// assert_eq!(Edge::Fall.to_string(), "F");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Edge {
+    /// A rising transition: 0 → 1, timed 0.1 Vdd → 0.9 Vdd.
+    Rise,
+    /// A falling transition: 1 → 0, timed 0.9 Vdd → 0.1 Vdd.
+    Fall,
+}
+
+impl Edge {
+    /// Both edges, in `[Rise, Fall]` order; handy for exhaustive loops.
+    pub const BOTH: [Edge; 2] = [Edge::Rise, Edge::Fall];
+
+    /// The opposite edge (`R̄ = F`, `F̄ = R`).
+    #[inline]
+    pub fn inverted(self) -> Edge {
+        match self {
+            Edge::Rise => Edge::Fall,
+            Edge::Fall => Edge::Rise,
+        }
+    }
+
+    /// The edge seen at the output of an inverting gate for this input edge,
+    /// or at the output of a non-inverting gate when `inverting` is false.
+    #[inline]
+    pub fn through(self, inverting: bool) -> Edge {
+        if inverting {
+            self.inverted()
+        } else {
+            self
+        }
+    }
+
+    /// Logic value before the transition (0 for rise, 1 for fall).
+    #[inline]
+    pub fn from_value(self) -> bool {
+        matches!(self, Edge::Fall)
+    }
+
+    /// Logic value after the transition (1 for rise, 0 for fall).
+    #[inline]
+    pub fn to_value(self) -> bool {
+        matches!(self, Edge::Rise)
+    }
+
+    /// Index (Rise = 0, Fall = 1); for table-shaped storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Edge::Rise => 0,
+            Edge::Fall => 1,
+        }
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Edge::Rise => write!(f, "R"),
+            Edge::Fall => write!(f, "F"),
+        }
+    }
+}
+
+/// A fully specified transition at a pin: direction, arrival time and
+/// transition time.
+///
+/// * The **arrival time** `A` is when the waveform crosses 0.5 Vdd.
+/// * The **transition time** `T` is the 0.1 Vdd → 0.9 Vdd (rise) or
+///   0.9 Vdd → 0.1 Vdd (fall) duration of the saturating ramp.
+///
+/// # Example
+///
+/// ```
+/// use ssdm_core::{Edge, Time, Transition};
+/// let x = Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5));
+/// let y = Transition::new(Edge::Fall, Time::from_ns(1.5), Time::from_ns(0.5));
+/// // Skew δ_{X,Y} = A_Y − A_X as defined in the paper.
+/// assert_eq!(x.skew_to(&y), Time::from_ns(0.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// Transition direction.
+    pub edge: Edge,
+    /// Arrival time (50 % crossing).
+    pub arrival: Time,
+    /// Transition time (10 %–90 % duration). Must be positive.
+    pub ttime: Time,
+}
+
+impl Transition {
+    /// Creates a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ttime` is not strictly positive and finite, or if
+    /// `arrival` is not finite — such values indicate a bug upstream rather
+    /// than a recoverable condition.
+    pub fn new(edge: Edge, arrival: Time, ttime: Time) -> Transition {
+        assert!(
+            arrival.is_finite(),
+            "transition arrival must be finite, got {arrival}"
+        );
+        assert!(
+            ttime.is_finite() && ttime > Time::ZERO,
+            "transition time must be positive and finite, got {ttime}"
+        );
+        Transition { edge, arrival, ttime }
+    }
+
+    /// Skew `δ = A_other − A_self` (positive when `other` lags).
+    #[inline]
+    pub fn skew_to(&self, other: &Transition) -> Time {
+        other.arrival - self.arrival
+    }
+
+    /// The time at which the ramp leaves its initial rail: arrival minus
+    /// half the 10–90 ramp extended to the full swing (`T/0.8/2`).
+    #[inline]
+    pub fn start(&self) -> Time {
+        self.arrival - self.ttime / 0.8 / 2.0
+    }
+
+    /// The time at which the ramp reaches its final rail.
+    #[inline]
+    pub fn end(&self) -> Time {
+        self.arrival + self.ttime / 0.8 / 2.0
+    }
+}
+
+impl fmt::Display for Transition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{} (T={})", self.edge, self.arrival, self.ttime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_inversion_is_involutive() {
+        for e in Edge::BOTH {
+            assert_eq!(e.inverted().inverted(), e);
+            assert_ne!(e.inverted(), e);
+        }
+    }
+
+    #[test]
+    fn edge_through_gate() {
+        assert_eq!(Edge::Rise.through(true), Edge::Fall);
+        assert_eq!(Edge::Rise.through(false), Edge::Rise);
+    }
+
+    #[test]
+    fn edge_values() {
+        assert!(!Edge::Rise.from_value());
+        assert!(Edge::Rise.to_value());
+        assert!(Edge::Fall.from_value());
+        assert!(!Edge::Fall.to_value());
+        assert_eq!(Edge::Rise.index(), 0);
+        assert_eq!(Edge::Fall.index(), 1);
+    }
+
+    #[test]
+    fn transition_skew_sign_convention() {
+        let x = Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5));
+        let y = Transition::new(Edge::Fall, Time::from_ns(0.7), Time::from_ns(0.5));
+        assert!((x.skew_to(&y) - Time::from_ns(-0.3)).abs() < Time::from_ns(1e-12));
+        assert!((y.skew_to(&x) - Time::from_ns(0.3)).abs() < Time::from_ns(1e-12));
+    }
+
+    #[test]
+    fn transition_start_end_bracket_arrival() {
+        let t = Transition::new(Edge::Rise, Time::from_ns(2.0), Time::from_ns(0.8));
+        assert!(t.start() < t.arrival);
+        assert!(t.end() > t.arrival);
+        // Full-swing ramp duration is T / 0.8.
+        let dur = t.end() - t.start();
+        assert!((dur.as_ns() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn transition_rejects_zero_ttime() {
+        let _ = Transition::new(Edge::Rise, Time::ZERO, Time::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn transition_rejects_nan_arrival() {
+        let _ = Transition::new(Edge::Rise, Time::from_ns(f64::NAN), Time::from_ns(0.1));
+    }
+
+    #[test]
+    fn display_formats() {
+        let t = Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5));
+        assert_eq!(format!("{t}"), "F@1ns (T=0.5ns)");
+    }
+}

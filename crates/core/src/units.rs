@@ -1,0 +1,425 @@
+//! Physical-unit newtypes.
+//!
+//! All timing quantities in the workspace are carried in **nanoseconds**,
+//! voltages in **volts** and capacitances in **femtofarads**. The newtypes
+//! exist to keep those interpretations straight at API boundaries
+//! (C-NEWTYPE); arithmetic inside numeric kernels unwraps to `f64` via
+//! [`Time::as_ns`] and friends.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A signed time quantity in nanoseconds.
+///
+/// Negative values are meaningful: the paper's bi-tonic pin-to-pin delay
+/// curves can dip below zero for very slow input ramps (the output starts
+/// moving before the input crosses 0.5 Vdd, Section 3.3), and skews
+/// `δ = A_Y − A_X` are signed by definition.
+///
+/// # Example
+///
+/// ```
+/// use ssdm_core::Time;
+/// let a = Time::from_ns(0.5);
+/// let b = Time::from_ps(250.0);
+/// assert_eq!(a + b, Time::from_ns(0.75));
+/// assert!(a > b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Time(f64);
+
+impl Time {
+    /// Zero time.
+    pub const ZERO: Time = Time(0.0);
+    /// Positive infinity; the identity for [`Time::min`] folds.
+    pub const INFINITY: Time = Time(f64::INFINITY);
+    /// Negative infinity; the identity for [`Time::max`] folds.
+    pub const NEG_INFINITY: Time = Time(f64::NEG_INFINITY);
+
+    /// Creates a time from a value in nanoseconds.
+    #[inline]
+    pub const fn from_ns(ns: f64) -> Time {
+        Time(ns)
+    }
+
+    /// Creates a time from a value in picoseconds.
+    #[inline]
+    pub fn from_ps(ps: f64) -> Time {
+        Time(ps * 1e-3)
+    }
+
+    /// Returns the value in nanoseconds.
+    #[inline]
+    pub const fn as_ns(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in picoseconds.
+    #[inline]
+    pub fn as_ps(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// Returns the value in seconds.
+    #[inline]
+    pub fn as_seconds(self) -> f64 {
+        self.0 * 1e-9
+    }
+
+    /// Smaller of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Larger of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(self) -> Time {
+        Time(self.0.abs())
+    }
+
+    /// Clamps into `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    #[inline]
+    pub fn clamp(self, lo: Time, hi: Time) -> Time {
+        assert!(lo <= hi, "Time::clamp: lo {lo} > hi {hi}");
+        Time(self.0.clamp(lo.0, hi.0))
+    }
+
+    /// True when the value is neither NaN nor infinite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// True when the value is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.0.is_nan()
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(prec) = f.precision() {
+            write!(f, "{:.*}ns", prec, self.0)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Time {
+    type Output = Time;
+    #[inline]
+    fn neg(self) -> Time {
+        Time(-self.0)
+    }
+}
+
+impl Mul<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: f64) -> Time {
+        Time(self.0 * rhs)
+    }
+}
+
+impl Mul<Time> for f64 {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: Time) -> Time {
+        Time(self * rhs.0)
+    }
+}
+
+impl Div<f64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: f64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Div<Time> for Time {
+    type Output = f64;
+    #[inline]
+    fn div(self, rhs: Time) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, Add::add)
+    }
+}
+
+/// A voltage in volts.
+///
+/// # Example
+///
+/// ```
+/// use ssdm_core::Voltage;
+/// let vdd = Voltage::from_volts(3.3);
+/// assert_eq!(vdd.scale(0.5).as_volts(), 1.65);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Voltage(f64);
+
+impl Voltage {
+    /// Zero volts.
+    pub const ZERO: Voltage = Voltage(0.0);
+
+    /// Creates a voltage from a value in volts.
+    #[inline]
+    pub const fn from_volts(v: f64) -> Voltage {
+        Voltage(v)
+    }
+
+    /// Returns the value in volts.
+    #[inline]
+    pub const fn as_volts(self) -> f64 {
+        self.0
+    }
+
+    /// Multiplies by a dimensionless factor (e.g. `0.5` for the 50 % level).
+    #[inline]
+    pub fn scale(self, k: f64) -> Voltage {
+        Voltage(self.0 * k)
+    }
+
+    /// Smaller of two voltages.
+    #[inline]
+    pub fn min(self, other: Voltage) -> Voltage {
+        Voltage(self.0.min(other.0))
+    }
+
+    /// Larger of two voltages.
+    #[inline]
+    pub fn max(self, other: Voltage) -> Voltage {
+        Voltage(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for Voltage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}V", self.0)
+    }
+}
+
+impl Add for Voltage {
+    type Output = Voltage;
+    #[inline]
+    fn add(self, rhs: Voltage) -> Voltage {
+        Voltage(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Voltage {
+    type Output = Voltage;
+    #[inline]
+    fn sub(self, rhs: Voltage) -> Voltage {
+        Voltage(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Voltage {
+    type Output = Voltage;
+    #[inline]
+    fn neg(self) -> Voltage {
+        Voltage(-self.0)
+    }
+}
+
+/// A capacitance in femtofarads.
+///
+/// # Example
+///
+/// ```
+/// use ssdm_core::Capacitance;
+/// let c = Capacitance::from_ff(10.0) + Capacitance::from_ff(2.5);
+/// assert_eq!(c.as_ff(), 12.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Capacitance(f64);
+
+impl Capacitance {
+    /// Zero capacitance.
+    pub const ZERO: Capacitance = Capacitance(0.0);
+
+    /// Creates a capacitance from a value in femtofarads.
+    #[inline]
+    pub const fn from_ff(ff: f64) -> Capacitance {
+        Capacitance(ff)
+    }
+
+    /// Returns the value in femtofarads.
+    #[inline]
+    pub const fn as_ff(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the value in farads.
+    #[inline]
+    pub fn as_farads(self) -> f64 {
+        self.0 * 1e-15
+    }
+}
+
+impl fmt::Display for Capacitance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}fF", self.0)
+    }
+}
+
+impl Add for Capacitance {
+    type Output = Capacitance;
+    #[inline]
+    fn add(self, rhs: Capacitance) -> Capacitance {
+        Capacitance(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Capacitance {
+    type Output = Capacitance;
+    #[inline]
+    fn sub(self, rhs: Capacitance) -> Capacitance {
+        Capacitance(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Capacitance {
+    type Output = Capacitance;
+    #[inline]
+    fn mul(self, rhs: f64) -> Capacitance {
+        Capacitance(self.0 * rhs)
+    }
+}
+
+impl Sum for Capacitance {
+    fn sum<I: Iterator<Item = Capacitance>>(iter: I) -> Capacitance {
+        iter.fold(Capacitance::ZERO, Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_unit_round_trips() {
+        assert_eq!(Time::from_ps(1500.0), Time::from_ns(1.5));
+        assert_eq!(Time::from_ns(2.0).as_ps(), 2000.0);
+        assert!((Time::from_ns(1.0).as_seconds() - 1e-9).abs() < 1e-24);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let a = Time::from_ns(1.0);
+        let b = Time::from_ns(0.25);
+        assert_eq!(a - b, Time::from_ns(0.75));
+        assert_eq!(-b, Time::from_ns(-0.25));
+        assert_eq!(a * 2.0, Time::from_ns(2.0));
+        assert_eq!(2.0 * a, Time::from_ns(2.0));
+        assert_eq!(a / 4.0, b);
+        assert_eq!(a / b, 4.0);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn time_min_max_abs_clamp() {
+        let a = Time::from_ns(-1.0);
+        let b = Time::from_ns(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.abs(), Time::from_ns(1.0));
+        assert_eq!(Time::from_ns(5.0).clamp(a, b), b);
+        assert_eq!(Time::from_ns(-5.0).clamp(a, b), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp")]
+    fn time_clamp_panics_on_inverted_range() {
+        let _ = Time::ZERO.clamp(Time::from_ns(1.0), Time::from_ns(0.0));
+    }
+
+    #[test]
+    fn time_sum_and_identities() {
+        let xs = [Time::from_ns(0.5), Time::from_ns(1.5)];
+        assert_eq!(xs.iter().copied().sum::<Time>(), Time::from_ns(2.0));
+        assert!(Time::INFINITY.min(Time::from_ns(3.0)) == Time::from_ns(3.0));
+        assert!(Time::NEG_INFINITY.max(Time::from_ns(3.0)) == Time::from_ns(3.0));
+        assert!(!Time::INFINITY.is_finite());
+        assert!(Time::ZERO.is_finite());
+    }
+
+    #[test]
+    fn time_display() {
+        assert_eq!(format!("{}", Time::from_ns(0.5)), "0.5ns");
+        assert_eq!(format!("{:.2}", Time::from_ns(0.456)), "0.46ns");
+    }
+
+    #[test]
+    fn voltage_ops() {
+        let vdd = Voltage::from_volts(3.3);
+        assert_eq!(vdd.scale(0.5).as_volts(), 1.65);
+        assert_eq!((vdd - Voltage::from_volts(0.3)).as_volts(), 3.0);
+        assert_eq!(vdd.min(Voltage::ZERO), Voltage::ZERO);
+        assert_eq!(vdd.max(Voltage::ZERO), vdd);
+        assert_eq!(format!("{}", vdd), "3.3V");
+    }
+
+    #[test]
+    fn capacitance_ops() {
+        let c = Capacitance::from_ff(10.0);
+        assert_eq!((c * 2.0).as_ff(), 20.0);
+        assert!((c.as_farads() - 1e-14).abs() < 1e-28);
+        let total: Capacitance = [c, c].iter().copied().sum();
+        assert_eq!(total.as_ff(), 20.0);
+        assert_eq!(format!("{}", c), "10fF");
+    }
+}

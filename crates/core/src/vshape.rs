@@ -1,0 +1,315 @@
+//! The three-point V-shape skew approximation (Figure 2 of the paper).
+
+use std::fmt;
+
+use crate::bound::Bound;
+use crate::error::CoreError;
+use crate::math::lerp;
+use crate::units::Time;
+
+/// Piecewise-linear V-shape approximation of a timing quantity as a
+/// function of the input skew `δ = A_Y − A_X`.
+///
+/// Defined by three points, exactly as in Figure 2:
+///
+/// * the **left knee** `(SYR, DYR)`: for `δ ≤ SYR` (Y leads by a lot) the
+///   quantity saturates at Y's single-switch value,
+/// * the **vertex** `(S0, D0)`: the extreme simultaneous-switching value
+///   (`S0 = 0` for gate delay by Claim 1; possibly non-zero for output
+///   transition time),
+/// * the **right knee** `(SR, DR)`: for `δ ≥ SR` (Y lags by a lot) X alone
+///   determines the quantity.
+///
+/// Between knees the function is linear on each side of the vertex. Two
+/// transitions are *δ-simultaneous* when `SYR ≤ δ ≤ SR`
+/// ([`VShape::simultaneous_window`]).
+///
+/// # Example
+///
+/// ```
+/// use ssdm_core::{Time, VShape};
+/// let v = VShape::new(
+///     (Time::from_ns(-0.2), Time::from_ns(0.28)),
+///     (Time::ZERO, Time::from_ns(0.17)),
+///     (Time::from_ns(0.3), Time::from_ns(0.30)),
+/// )?;
+/// // Halfway up the right flank.
+/// assert_eq!(v.eval(Time::from_ns(0.15)), Time::from_ns(0.235));
+/// # Ok::<(), ssdm_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VShape {
+    left: (Time, Time),
+    vertex: (Time, Time),
+    right: (Time, Time),
+}
+
+impl VShape {
+    /// Creates a V-shape from `(skew, value)` points: left knee, vertex,
+    /// right knee.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::MalformedVShape`] unless
+    /// `left.0 ≤ vertex.0 ≤ right.0` and all coordinates are finite.
+    pub fn new(
+        left: (Time, Time),
+        vertex: (Time, Time),
+        right: (Time, Time),
+    ) -> Result<VShape, CoreError> {
+        let coords = [left.0, left.1, vertex.0, vertex.1, right.0, right.1];
+        if coords.iter().any(|t| !t.is_finite()) {
+            return Err(CoreError::MalformedVShape {
+                reason: "coordinates must be finite",
+            });
+        }
+        if !(left.0 <= vertex.0 && vertex.0 <= right.0) {
+            return Err(CoreError::MalformedVShape {
+                reason: "knees must bracket the vertex skew",
+            });
+        }
+        Ok(VShape { left, vertex, right })
+    }
+
+    /// A degenerate V-shape that is constant at `value` (used when only a
+    /// single input can switch, so skew is irrelevant).
+    pub fn flat(value: Time) -> VShape {
+        VShape {
+            left: (Time::ZERO, value),
+            vertex: (Time::ZERO, value),
+            right: (Time::ZERO, value),
+        }
+    }
+
+    /// Left knee `(SYR, DYR)`.
+    pub fn left_knee(&self) -> (Time, Time) {
+        self.left
+    }
+
+    /// Vertex `(S0, D0)`.
+    pub fn vertex(&self) -> (Time, Time) {
+        self.vertex
+    }
+
+    /// Right knee `(SR, DR)`.
+    pub fn right_knee(&self) -> (Time, Time) {
+        self.right
+    }
+
+    /// The δ-simultaneous window `[SYR, SR]` inside which the lagging
+    /// transition still affects the output.
+    pub fn simultaneous_window(&self) -> Bound {
+        Bound::new(self.left.0, self.right.0).expect("invariant: left <= right")
+    }
+
+    /// Evaluates the V-shape at skew `δ`.
+    pub fn eval(&self, skew: Time) -> Time {
+        if skew <= self.left.0 {
+            self.left.1
+        } else if skew < self.vertex.0 {
+            let t = (skew - self.left.0) / (self.vertex.0 - self.left.0);
+            Time::from_ns(lerp(self.left.1.as_ns(), self.vertex.1.as_ns(), t))
+        } else if skew == self.vertex.0 {
+            self.vertex.1
+        } else if skew < self.right.0 {
+            let t = (skew - self.vertex.0) / (self.right.0 - self.vertex.0);
+            Time::from_ns(lerp(self.vertex.1.as_ns(), self.right.1.as_ns(), t))
+        } else {
+            self.right.1
+        }
+    }
+
+    /// Breakpoints of the piecewise-linear function.
+    fn breakpoints(&self) -> [Time; 3] {
+        [self.left.0, self.vertex.0, self.right.0]
+    }
+
+    /// Minimum of the V-shape over a skew interval.
+    ///
+    /// Since the function is piecewise linear, the minimum is attained at an
+    /// interval endpoint or at an interior breakpoint.
+    pub fn min_over(&self, skews: Bound) -> Time {
+        self.extremum_over(skews, Time::min, Time::INFINITY)
+    }
+
+    /// Maximum of the V-shape over a skew interval.
+    pub fn max_over(&self, skews: Bound) -> Time {
+        self.extremum_over(skews, Time::max, Time::NEG_INFINITY)
+    }
+
+    /// The skew in `skews` minimizing the V-shape, with the attained value.
+    pub fn argmin_over(&self, skews: Bound) -> (Time, Time) {
+        let mut best = (skews.s(), self.eval(skews.s()));
+        for cand in self.candidates(skews) {
+            let v = self.eval(cand);
+            if v < best.1 {
+                best = (cand, v);
+            }
+        }
+        best
+    }
+
+    fn candidates(&self, skews: Bound) -> impl Iterator<Item = Time> + '_ {
+        [skews.s(), skews.l()]
+            .into_iter()
+            .chain(self.breakpoints().into_iter().filter(move |b| skews.contains(*b)))
+    }
+
+    fn extremum_over(&self, skews: Bound, pick: fn(Time, Time) -> Time, init: Time) -> Time {
+        self.candidates(skews)
+            .map(|x| self.eval(x))
+            .fold(init, pick)
+    }
+}
+
+impl fmt::Display for VShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "V[({}, {}) ({}, {}) ({}, {})]",
+            self.left.0, self.left.1, self.vertex.0, self.vertex.1, self.right.0, self.right.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ns(x: f64) -> Time {
+        Time::from_ns(x)
+    }
+
+    fn sample() -> VShape {
+        VShape::new((ns(-0.25), ns(0.30)), (ns(0.0), ns(0.17)), (ns(0.25), ns(0.30))).unwrap()
+    }
+
+    #[test]
+    fn eval_saturates_outside_knees() {
+        let v = sample();
+        assert_eq!(v.eval(ns(-10.0)), ns(0.30));
+        assert_eq!(v.eval(ns(10.0)), ns(0.30));
+        assert_eq!(v.eval(ns(-0.25)), ns(0.30));
+        assert_eq!(v.eval(ns(0.25)), ns(0.30));
+    }
+
+    #[test]
+    fn eval_vertex_is_minimum() {
+        let v = sample();
+        assert_eq!(v.eval(Time::ZERO), ns(0.17));
+        for i in -50..=50 {
+            let d = ns(i as f64 * 0.02);
+            assert!(v.eval(d) >= ns(0.17) - ns(1e-12));
+        }
+    }
+
+    #[test]
+    fn eval_is_linear_between_points() {
+        let v = sample();
+        let mid_right = v.eval(ns(0.125));
+        assert!((mid_right.as_ns() - 0.235).abs() < 1e-12);
+        let mid_left = v.eval(ns(-0.125));
+        assert!((mid_left.as_ns() - 0.235).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_vertex_for_transition_time() {
+        // S0 may be non-zero for output transition time (Section 3.4).
+        let v = VShape::new((ns(-0.3), ns(0.5)), (ns(0.1), ns(0.2)), (ns(0.4), ns(0.45))).unwrap();
+        assert_eq!(v.eval(ns(0.1)), ns(0.2));
+        assert_eq!(v.argmin_over(Bound::unbounded()).0, ns(0.1));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(VShape::new((ns(0.5), ns(1.0)), (ns(0.0), ns(0.5)), (ns(1.0), ns(1.0))).is_err());
+        assert!(VShape::new(
+            (ns(f64::NAN), ns(1.0)),
+            (ns(0.0), ns(0.5)),
+            (ns(1.0), ns(1.0))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn flat_is_constant() {
+        let v = VShape::flat(ns(0.3));
+        assert_eq!(v.eval(ns(-5.0)), ns(0.3));
+        assert_eq!(v.eval(ns(5.0)), ns(0.3));
+        assert_eq!(v.min_over(Bound::unbounded()), ns(0.3));
+        assert_eq!(v.max_over(Bound::unbounded()), ns(0.3));
+    }
+
+    #[test]
+    fn min_max_over_windows() {
+        let v = sample();
+        let w = Bound::new(ns(-0.1), ns(0.4)).unwrap();
+        assert_eq!(v.min_over(w), ns(0.17));
+        assert_eq!(v.max_over(w), ns(0.30));
+        // Window strictly to the right of the vertex: min at its left edge.
+        let w2 = Bound::new(ns(0.1), ns(0.2)).unwrap();
+        assert_eq!(v.min_over(w2), v.eval(ns(0.1)));
+        assert_eq!(v.max_over(w2), v.eval(ns(0.2)));
+        // Degenerate window.
+        let w3 = Bound::point(ns(0.05));
+        assert_eq!(v.min_over(w3), v.eval(ns(0.05)));
+        assert_eq!(v.min_over(w3), v.max_over(w3));
+    }
+
+    #[test]
+    fn argmin_picks_vertex_when_contained() {
+        let v = sample();
+        let (s, val) = v.argmin_over(Bound::new(ns(-1.0), ns(1.0)).unwrap());
+        assert_eq!(s, Time::ZERO);
+        assert_eq!(val, ns(0.17));
+        // When the vertex is excluded the closest endpoint wins.
+        let (s, _) = v.argmin_over(Bound::new(ns(0.05), ns(0.2)).unwrap());
+        assert_eq!(s, ns(0.05));
+    }
+
+    #[test]
+    fn simultaneous_window_matches_knees() {
+        let v = sample();
+        let w = v.simultaneous_window();
+        assert_eq!(w.s(), ns(-0.25));
+        assert_eq!(w.l(), ns(0.25));
+    }
+
+    #[test]
+    fn display_mentions_all_points() {
+        let txt = sample().to_string();
+        assert!(txt.contains("0.17ns"));
+        assert!(txt.contains("-0.25ns"));
+    }
+
+    proptest! {
+        #[test]
+        fn min_max_over_bracket_pointwise_eval(
+            lk in -1.0..0.0f64, rk in 0.0..1.0f64,
+            dv in 0.0..0.5f64, dl in 0.0..0.5f64, dr in 0.0..0.5f64,
+            w_lo in -2.0..2.0f64, w_w in 0.0..2.0f64, t in 0.0..1.0f64,
+        ) {
+            let v = VShape::new((ns(lk), ns(dv + dl)), (ns(0.0), ns(dv)), (ns(rk), ns(dv + dr))).unwrap();
+            let w = Bound::new(ns(w_lo), ns(w_lo + w_w)).unwrap();
+            let x = ns(w_lo + w_w * t);
+            let y = v.eval(x);
+            prop_assert!(v.min_over(w) <= y + ns(1e-12));
+            prop_assert!(v.max_over(w) >= y - ns(1e-12));
+            // argmin result is inside the window and attains min_over.
+            let (s, val) = v.argmin_over(w);
+            prop_assert!(w.contains(s));
+            prop_assert!((val - v.min_over(w)).abs() <= ns(1e-12));
+        }
+
+        #[test]
+        fn vertex_is_global_min_when_knees_are_higher(
+            lk in -1.0..-0.01f64, rk in 0.01..1.0f64,
+            dv in 0.0..0.5f64, dl in 0.001..0.5f64, dr in 0.001..0.5f64,
+            x in -3.0..3.0f64,
+        ) {
+            let v = VShape::new((ns(lk), ns(dv + dl)), (ns(0.0), ns(dv)), (ns(rk), ns(dv + dr))).unwrap();
+            prop_assert!(v.eval(ns(x)) >= ns(dv) - ns(1e-12));
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! ITR error types.
+
+use std::error::Error;
+use std::fmt;
+
+use ssdm_logic::LogicError;
+use ssdm_sta::StaError;
+
+/// Errors produced by incremental timing refinement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItrError {
+    /// The underlying timing propagation failed.
+    Sta(StaError),
+    /// Logic implication found the assignment inconsistent.
+    Logic(LogicError),
+}
+
+impl fmt::Display for ItrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ItrError::Sta(e) => write!(f, "timing propagation failed: {e}"),
+            ItrError::Logic(e) => write!(f, "logic implication failed: {e}"),
+        }
+    }
+}
+
+impl Error for ItrError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ItrError::Sta(e) => Some(e),
+            ItrError::Logic(e) => Some(e),
+        }
+    }
+}
+
+impl From<StaError> for ItrError {
+    fn from(e: StaError) -> ItrError {
+        ItrError::Sta(e)
+    }
+}
+
+impl From<LogicError> for ItrError {
+    fn from(e: LogicError) -> ItrError {
+        ItrError::Logic(e)
+    }
+}
+
+impl From<ssdm_cells::CellError> for ItrError {
+    fn from(e: ssdm_cells::CellError) -> ItrError {
+        ItrError::Sta(StaError::Cell(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdm_netlist::NetId;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = ItrError::from(LogicError::Conflict { net: NetId(2) });
+        assert!(e.to_string().contains("n2"));
+        assert!(Error::source(&e).is_some());
+        let e = ItrError::from(StaError::NoTrigger { gate: "g".into() });
+        assert!(e.to_string().contains("g"));
+    }
+}

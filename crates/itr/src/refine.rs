@@ -1,0 +1,338 @@
+//! The ITR window recomputation (Section 5.2).
+
+use ssdm_cells::CellLibrary;
+use ssdm_core::{Bound, Edge, Time};
+use ssdm_logic::{imply, Assignments, TransState};
+use ssdm_netlist::{Circuit, GateType, NetId};
+use ssdm_sta::{
+    stage_plan, stage_windows, DelaysUsed, LineTiming, Participation, PinWindow, Sta, StaConfig,
+    TimingView,
+};
+
+use crate::error::ItrError;
+
+/// The incremental timing refiner.
+#[derive(Debug)]
+pub struct Itr<'a> {
+    circuit: &'a Circuit,
+    library: &'a CellLibrary,
+    config: StaConfig,
+}
+
+/// Refined timing windows under a partial two-frame assignment.
+#[derive(Debug, Clone)]
+pub struct ItrResult {
+    lines: Vec<LineTiming>,
+    used: Vec<DelaysUsed>,
+    inverting: Vec<bool>,
+}
+
+impl TimingView for ItrResult {
+    fn line(&self, net: NetId) -> &LineTiming {
+        &self.lines[net.index()]
+    }
+
+    fn delay_used(&self, gate: NetId, pin: usize, in_edge: Edge) -> Option<Bound> {
+        self.used
+            .get(gate.index())
+            .and_then(|pins| pins.get(pin))
+            .and_then(|edges| edges[in_edge.index()])
+    }
+
+    fn gate_inverting(&self, net: NetId) -> bool {
+        self.inverting[net.index()]
+    }
+}
+
+impl ItrResult {
+    /// The windows of a line (inherent mirror of [`TimingView::line`]).
+    pub fn line(&self, net: NetId) -> &LineTiming {
+        &self.lines[net.index()]
+    }
+
+    /// Sum of all arrival-window widths — the refinement progress metric
+    /// used by the experiments (smaller = tighter analysis).
+    pub fn total_arrival_width(&self) -> Time {
+        self.lines
+            .iter()
+            .flat_map(|lt| [lt.rise, lt.fall])
+            .flatten()
+            .map(|e| e.arrival.width())
+            .sum()
+    }
+}
+
+/// Maps a logic transition state onto timing participation.
+fn participation(state: TransState) -> Participation {
+    match state {
+        TransState::Yes => Participation::Must,
+        TransState::Maybe => Participation::May,
+        TransState::No => Participation::Cannot,
+    }
+}
+
+impl<'a> Itr<'a> {
+    /// Creates a refiner. The configuration should match the STA run being
+    /// refined.
+    pub fn new(circuit: &'a Circuit, library: &'a CellLibrary, config: StaConfig) -> Itr<'a> {
+        Itr {
+            circuit,
+            library,
+            config,
+        }
+    }
+
+    /// Recomputes all timing windows under `assignments`.
+    ///
+    /// Runs logic implication first (refining `assignments` in place), then
+    /// propagates windows with each line's transition states deciding
+    /// participation. A line whose logic value forbids an edge loses that
+    /// edge's window entirely.
+    ///
+    /// # Errors
+    ///
+    /// * [`ItrError::Logic`] — the assignment is self-inconsistent;
+    /// * [`ItrError::Sta`] — cell lookup / propagation failure.
+    pub fn refine(&self, assignments: &mut Assignments) -> Result<ItrResult, ItrError> {
+        imply(self.circuit, assignments)?;
+        let sta = Sta::new(self.circuit, self.library, self.config.clone());
+        let loads = sta.net_loads()?;
+        let n = self.circuit.n_nets();
+        let mut lines = vec![LineTiming::default(); n];
+        let mut used: Vec<DelaysUsed> = vec![Vec::new(); n];
+        let mut inverting = vec![true; n];
+        for id in self.circuit.topo() {
+            let gate = self.circuit.gate(id);
+            if gate.gtype == GateType::Input {
+                let mut lt = LineTiming::symmetric(self.config.pi_arrival, self.config.pi_ttime);
+                self.apply_state_veto(assignments, id, &mut lt);
+                lines[id.index()] = lt;
+                continue;
+            }
+            let plan = stage_plan(gate.gtype, gate.fanin.len(), &gate.name)?;
+            let pins: Vec<PinWindow> = gate
+                .fanin
+                .iter()
+                .map(|&f| PinWindow {
+                    timing: lines[f.index()],
+                    participation: [
+                        participation(assignments.state(f, Edge::Rise)),
+                        participation(assignments.state(f, Edge::Fall)),
+                    ],
+                })
+                .collect();
+            let cell1 = self.library.require(&plan.first)?;
+            let (mut lt, total_used) = match &plan.second {
+                None => stage_windows(cell1, self.config.model, &pins, loads[id.index()])?,
+                Some(second) => {
+                    let cell2 = self.library.require(second)?;
+                    let (mut mid, used1) =
+                        stage_windows(cell1, self.config.model, &pins, cell2.input_cap())?;
+                    // The internal net is the complement of the gate output,
+                    // so its states are the output's with edges swapped.
+                    let mid_part = [
+                        participation(assignments.state(id, Edge::Fall)),
+                        participation(assignments.state(id, Edge::Rise)),
+                    ];
+                    for e in Edge::BOTH {
+                        if !mid_part[e.index()].possible() {
+                            mid.set_edge(e, None);
+                        }
+                    }
+                    let pin_mid = PinWindow {
+                        timing: mid,
+                        participation: mid_part,
+                    };
+                    let (out, used2) =
+                        stage_windows(cell2, self.config.model, &[pin_mid], loads[id.index()])?;
+                    let mut total: DelaysUsed = vec![[None, None]; pins.len()];
+                    for (pin, stage1) in used1.iter().enumerate() {
+                        for e in Edge::BOTH {
+                            total[pin][e.index()] =
+                                match (stage1[e.index()], used2[0][e.inverted().index()]) {
+                                    (Some(a), Some(b)) => Some(a.add(b)),
+                                    _ => None,
+                                };
+                        }
+                    }
+                    (out, total)
+                }
+            };
+            self.apply_state_veto(assignments, id, &mut lt);
+            lines[id.index()] = lt;
+            used[id.index()] = total_used;
+            inverting[id.index()] = plan.inverting();
+        }
+        Ok(ItrResult {
+            lines,
+            used,
+            inverting,
+        })
+    }
+
+    /// Drops window edges the logic state rules out (`S = −1`).
+    fn apply_state_veto(&self, assignments: &Assignments, id: NetId, lt: &mut LineTiming) {
+        for e in Edge::BOTH {
+            if assignments.state(id, e) == TransState::No {
+                lt.set_edge(e, None);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdm_cells::{CellLibrary, CharConfig};
+    use ssdm_logic::{Tri, V2};
+    use ssdm_netlist::suite;
+    use std::sync::OnceLock;
+
+    fn library() -> &'static CellLibrary {
+        static LIB: OnceLock<CellLibrary> = OnceLock::new();
+        LIB.get_or_init(|| {
+            CellLibrary::characterize_standard(&CharConfig::fast()).expect("characterization")
+        })
+    }
+
+    fn sta_result(c: &Circuit) -> ssdm_sta::StaResult {
+        Sta::new(c, library(), StaConfig::default()).run().unwrap()
+    }
+
+    #[test]
+    fn all_unknown_matches_sta() {
+        // STA is the ITR special case where S = 0 everywhere (Section 5.1).
+        let c = suite::c17();
+        let sta = sta_result(&c);
+        let itr = Itr::new(&c, library(), StaConfig::default());
+        let mut a = Assignments::new(c.n_nets());
+        let r = itr.refine(&mut a).unwrap();
+        for id in c.topo() {
+            assert_eq!(
+                sta.line(id),
+                r.line(id),
+                "net {} diverges from STA",
+                c.gate(id).name
+            );
+        }
+    }
+
+    #[test]
+    fn windows_shrink_monotonically_as_values_are_assigned() {
+        let c = suite::c17();
+        let itr = Itr::new(&c, library(), StaConfig::default());
+        let mut a = Assignments::new(c.n_nets());
+        let mut prev = itr.refine(&mut a).unwrap();
+        // Incrementally pin PIs to a two-frame vector pair: all-1 → mixed.
+        let vals = [
+            V2::steady(true),
+            V2::transition(Edge::Fall),
+            V2::steady(true),
+            V2::transition(Edge::Fall),
+            V2::steady(true),
+        ];
+        for (idx, &pi) in c.inputs().iter().enumerate() {
+            a.set(pi, vals[idx]).unwrap();
+            let next = itr.refine(&mut a).unwrap();
+            for id in c.topo() {
+                assert!(
+                    prev.line(id).refined_by_within(next.line(id), Time::from_ps(2.0)),
+                    "step {idx}: net {} widened: {:?} -> {:?}",
+                    c.gate(id).name,
+                    prev.line(id),
+                    next.line(id)
+                );
+            }
+            assert!(next.total_arrival_width() <= prev.total_arrival_width() + Time::from_ns(1e-9));
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn steady_lines_lose_their_windows() {
+        let c = suite::c17();
+        let itr = Itr::new(&c, library(), StaConfig::default());
+        let mut a = Assignments::new(c.n_nets());
+        // All PIs steady-1: no transitions anywhere in frame logic.
+        for &pi in c.inputs() {
+            a.set(pi, V2::steady(true)).unwrap();
+        }
+        let r = itr.refine(&mut a).unwrap();
+        for id in c.topo() {
+            let lt = r.line(id);
+            assert!(lt.rise.is_none(), "net {} keeps a rise window", c.gate(id).name);
+            assert!(lt.fall.is_none());
+        }
+    }
+
+    #[test]
+    fn fully_specified_vectors_collapse_windows() {
+        let c = suite::c17();
+        let mut cfg = StaConfig::default();
+        cfg.pi_ttime = Bound::point(Time::from_ns(0.3));
+        let itr = Itr::new(&c, library(), cfg.clone());
+        let mut a = Assignments::new(c.n_nets());
+        // A vector pair that launches transitions: all inputs fall.
+        for &pi in c.inputs() {
+            a.set(pi, V2::transition(Edge::Fall)).unwrap();
+        }
+        let r = itr.refine(&mut a).unwrap();
+        let sta = Sta::new(&c, library(), cfg).run().unwrap();
+        // Windows become dramatically tighter than STA's (the paper:
+        // "if all input values are specified, timing ranges become
+        // points"; ours collapse to near-points, limited by the
+        // transition-time upper bound kept on max corners).
+        let o22 = c.find("22").unwrap();
+        let sta_w = sta.line(o22).rise.or(sta.line(o22).fall).unwrap().arrival.width();
+        let itr_lt = r.line(o22);
+        let itr_w = itr_lt
+            .rise
+            .or(itr_lt.fall)
+            .expect("some PO transition survives")
+            .arrival
+            .width();
+        assert!(
+            itr_w < sta_w * 0.55,
+            "expected strong collapse: itr {itr_w} vs sta {sta_w}"
+        );
+    }
+
+    #[test]
+    fn partial_values_propagate_through_implication() {
+        let c = suite::c17();
+        let itr = Itr::new(&c, library(), StaConfig::default());
+        let mut a = Assignments::new(c.n_nets());
+        // Force input 3 (shared by gates 10 and 11) steady-0 in both
+        // frames: 10 = NAND(1, 3) and 11 = NAND(3, 6) are pinned at 1,
+        // so they lose both windows.
+        let i3 = c.find("3").unwrap();
+        a.set(i3, V2::steady(false)).unwrap();
+        let r = itr.refine(&mut a).unwrap();
+        let g10 = c.find("10").unwrap();
+        let g11 = c.find("11").unwrap();
+        assert!(r.line(g10).rise.is_none() && r.line(g10).fall.is_none());
+        assert!(r.line(g11).rise.is_none() && r.line(g11).fall.is_none());
+        // Downstream gate 16 = NAND(2, 11) can now only fall if 2 rises...
+        // but 11 is steady-1 (non-controlling), so 16 still follows input 2
+        // and keeps both windows.
+        let g16 = c.find("16").unwrap();
+        assert!(r.line(g16).rise.is_some());
+        assert!(r.line(g16).fall.is_some());
+    }
+
+    #[test]
+    fn conflicting_assignment_is_reported() {
+        let c = suite::c17();
+        let itr = Itr::new(&c, library(), StaConfig::default());
+        let mut a = Assignments::new(c.n_nets());
+        for &pi in c.inputs() {
+            a.set(pi, V2::new(Tri::One, Tri::X)).unwrap();
+        }
+        let o22 = c.find("22").unwrap();
+        a.set(o22, V2::new(Tri::Zero, Tri::X)).unwrap();
+        assert!(matches!(
+            itr.refine(&mut a),
+            Err(ItrError::Logic(_))
+        ));
+    }
+}

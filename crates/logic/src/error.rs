@@ -1,0 +1,51 @@
+//! Logic-engine error types.
+
+use std::error::Error;
+use std::fmt;
+
+use ssdm_netlist::NetId;
+
+/// Errors produced by assignment and implication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogicError {
+    /// Two requirements on the same net contradict each other — the
+    /// current search branch is infeasible.
+    Conflict {
+        /// The net where the contradiction surfaced.
+        net: NetId,
+    },
+    /// A net index outside the assignment store.
+    BadNet {
+        /// The offending net.
+        net: NetId,
+        /// Store size.
+        n: usize,
+    },
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogicError::Conflict { net } => write!(f, "value conflict at {net}"),
+            LogicError::BadNet { net, n } => write!(f, "{net} out of range (store holds {n})"),
+        }
+    }
+}
+
+impl Error for LogicError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            LogicError::Conflict { net: NetId(3) }.to_string(),
+            "value conflict at n3"
+        );
+        assert!(LogicError::BadNet { net: NetId(9), n: 4 }
+            .to_string()
+            .contains("n9"));
+    }
+}

@@ -1,0 +1,323 @@
+//! Three-valued frame logic and the nine-value two-frame system.
+
+use std::fmt;
+
+use ssdm_core::Edge;
+
+/// A three-valued logic value for one time frame.
+///
+/// `X` is "unspecified" on a primary input and "unknown" elsewhere
+/// (Section 5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Tri {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown / unspecified.
+    #[default]
+    X,
+}
+
+impl Tri {
+    /// All three values.
+    pub const ALL: [Tri; 3] = [Tri::Zero, Tri::One, Tri::X];
+
+    /// From a concrete boolean.
+    pub fn from_bool(b: bool) -> Tri {
+        if b {
+            Tri::One
+        } else {
+            Tri::Zero
+        }
+    }
+
+    /// The concrete value, if known.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Tri::Zero => Some(false),
+            Tri::One => Some(true),
+            Tri::X => None,
+        }
+    }
+
+    /// True when not `X`.
+    pub fn is_known(self) -> bool {
+        self != Tri::X
+    }
+
+    /// Three-valued NOT.
+    pub fn not(self) -> Tri {
+        match self {
+            Tri::Zero => Tri::One,
+            Tri::One => Tri::Zero,
+            Tri::X => Tri::X,
+        }
+    }
+
+    /// Three-valued AND (0 dominates).
+    pub fn and(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::Zero, _) | (_, Tri::Zero) => Tri::Zero,
+            (Tri::One, Tri::One) => Tri::One,
+            _ => Tri::X,
+        }
+    }
+
+    /// Three-valued OR (1 dominates).
+    pub fn or(self, other: Tri) -> Tri {
+        match (self, other) {
+            (Tri::One, _) | (_, Tri::One) => Tri::One,
+            (Tri::Zero, Tri::Zero) => Tri::Zero,
+            _ => Tri::X,
+        }
+    }
+
+    /// Information-order intersection: `X` refines to anything; conflicting
+    /// definite values return `None`.
+    pub fn meet(self, other: Tri) -> Option<Tri> {
+        match (self, other) {
+            (Tri::X, v) | (v, Tri::X) => Some(v),
+            (a, b) if a == b => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True when `other` is at least as specified as `self` and consistent
+    /// with it.
+    pub fn refines_to(self, other: Tri) -> bool {
+        self == Tri::X || self == other
+    }
+}
+
+impl fmt::Display for Tri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tri::Zero => write!(f, "0"),
+            Tri::One => write!(f, "1"),
+            Tri::X => write!(f, "x"),
+        }
+    }
+}
+
+/// A two-frame value `(v1, v2)` — one of the nine logic values of
+/// Section 5.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct V2 {
+    /// First-frame value.
+    pub first: Tri,
+    /// Second-frame value.
+    pub second: Tri,
+}
+
+/// The paper's transition state `S^Z_tr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransState {
+    /// `S = 1`: the line definitely has the transition.
+    Yes,
+    /// `S = 0`: the line potentially has the transition.
+    Maybe,
+    /// `S = −1`: the line definitely does not have the transition.
+    No,
+}
+
+impl TransState {
+    /// The paper's numeric encoding.
+    pub fn as_i8(self) -> i8 {
+        match self {
+            TransState::Yes => 1,
+            TransState::Maybe => 0,
+            TransState::No => -1,
+        }
+    }
+}
+
+impl V2 {
+    /// The fully unknown value `xx`.
+    pub const XX: V2 = V2 { first: Tri::X, second: Tri::X };
+
+    /// Creates a value from frame values.
+    pub fn new(first: Tri, second: Tri) -> V2 {
+        V2 { first, second }
+    }
+
+    /// Steady at a constant logic level (`00` or `11`).
+    pub fn steady(level: bool) -> V2 {
+        let v = Tri::from_bool(level);
+        V2 { first: v, second: v }
+    }
+
+    /// A definite transition (`01` for rise, `10` for fall).
+    pub fn transition(edge: Edge) -> V2 {
+        V2 {
+            first: Tri::from_bool(edge.from_value()),
+            second: Tri::from_bool(edge.to_value()),
+        }
+    }
+
+    /// Parses a two-character string like `"0x"`.
+    ///
+    /// Returns `None` for anything other than two of `0`, `1`, `x`.
+    pub fn parse(s: &str) -> Option<V2> {
+        let mut chars = s.chars();
+        let f = chars.next()?;
+        let g = chars.next()?;
+        if chars.next().is_some() {
+            return None;
+        }
+        let tri = |c: char| match c {
+            '0' => Some(Tri::Zero),
+            '1' => Some(Tri::One),
+            'x' | 'X' => Some(Tri::X),
+            _ => None,
+        };
+        Some(V2 { first: tri(f)?, second: tri(g)? })
+    }
+
+    /// True when both frames are known.
+    pub fn is_fully_specified(self) -> bool {
+        self.first.is_known() && self.second.is_known()
+    }
+
+    /// Information-order intersection per frame; `None` on conflict.
+    pub fn meet(self, other: V2) -> Option<V2> {
+        Some(V2 {
+            first: self.first.meet(other.first)?,
+            second: self.second.meet(other.second)?,
+        })
+    }
+
+    /// The transition state `S_tr` for this value (Section 5.1): `01 → R`
+    /// is definite; `0x`, `x1`, `xx` are potential rises; anything with
+    /// frame values incompatible with the transition is `No`.
+    pub fn state(self, edge: Edge) -> TransState {
+        let want_first = Tri::from_bool(edge.from_value());
+        let want_second = Tri::from_bool(edge.to_value());
+        if self.first == want_first && self.second == want_second {
+            TransState::Yes
+        } else if self.first.refines_to(want_first) && self.second.refines_to(want_second) {
+            // Careful: refines_to is directional; here we need "could still
+            // become" — i.e. current value does not contradict the wanted
+            // one.
+            TransState::Maybe
+        } else {
+            TransState::No
+        }
+    }
+
+    /// True when this value cannot change between frames (`00` or `11`).
+    pub fn is_steady(self) -> bool {
+        self.first.is_known() && self.first == self.second
+    }
+}
+
+impl fmt::Display for V2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.first, self.second)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tri_tables() {
+        assert_eq!(Tri::Zero.and(Tri::X), Tri::Zero);
+        assert_eq!(Tri::One.and(Tri::X), Tri::X);
+        assert_eq!(Tri::One.and(Tri::One), Tri::One);
+        assert_eq!(Tri::One.or(Tri::X), Tri::One);
+        assert_eq!(Tri::Zero.or(Tri::X), Tri::X);
+        assert_eq!(Tri::Zero.or(Tri::Zero), Tri::Zero);
+        assert_eq!(Tri::X.not(), Tri::X);
+        assert_eq!(Tri::Zero.not(), Tri::One);
+    }
+
+    #[test]
+    fn tri_meet() {
+        assert_eq!(Tri::X.meet(Tri::One), Some(Tri::One));
+        assert_eq!(Tri::One.meet(Tri::X), Some(Tri::One));
+        assert_eq!(Tri::One.meet(Tri::One), Some(Tri::One));
+        assert_eq!(Tri::One.meet(Tri::Zero), None);
+    }
+
+    #[test]
+    fn tri_round_trips() {
+        assert_eq!(Tri::from_bool(true).to_bool(), Some(true));
+        assert_eq!(Tri::X.to_bool(), None);
+        assert!(Tri::One.is_known());
+        assert!(!Tri::X.is_known());
+    }
+
+    #[test]
+    fn v2_constructors_and_parse() {
+        assert_eq!(V2::steady(true).to_string(), "11");
+        assert_eq!(V2::transition(Edge::Rise).to_string(), "01");
+        assert_eq!(V2::transition(Edge::Fall).to_string(), "10");
+        assert_eq!(V2::parse("0x"), Some(V2::new(Tri::Zero, Tri::X)));
+        assert_eq!(V2::parse("X1"), Some(V2::new(Tri::X, Tri::One)));
+        assert_eq!(V2::parse("2x"), None);
+        assert_eq!(V2::parse("0"), None);
+        assert_eq!(V2::parse("0xx"), None);
+    }
+
+    #[test]
+    fn all_nine_values_states_for_rise() {
+        use TransState::*;
+        let cases = [
+            ("00", No),
+            ("01", Yes),
+            ("0x", Maybe),
+            ("10", No),
+            ("11", No),
+            ("1x", No),
+            ("x0", No),
+            ("x1", Maybe),
+            ("xx", Maybe),
+        ];
+        for (s, want) in cases {
+            let v = V2::parse(s).unwrap();
+            assert_eq!(v.state(Edge::Rise), want, "value {s}");
+        }
+    }
+
+    #[test]
+    fn all_nine_values_states_for_fall() {
+        use TransState::*;
+        let cases = [
+            ("00", No),
+            ("01", No),
+            ("0x", No),
+            ("10", Yes),
+            ("11", No),
+            ("1x", Maybe),
+            ("x0", Maybe),
+            ("x1", No),
+            ("xx", Maybe),
+        ];
+        for (s, want) in cases {
+            let v = V2::parse(s).unwrap();
+            assert_eq!(v.state(Edge::Fall), want, "value {s}");
+        }
+    }
+
+    #[test]
+    fn v2_meet_and_steady() {
+        let a = V2::parse("0x").unwrap();
+        let b = V2::parse("x1").unwrap();
+        assert_eq!(a.meet(b), Some(V2::transition(Edge::Rise)));
+        assert_eq!(a.meet(V2::parse("1x").unwrap()), None);
+        assert!(V2::steady(false).is_steady());
+        assert!(!V2::parse("xx").unwrap().is_steady());
+        assert!(!V2::parse("01").unwrap().is_steady());
+        assert!(V2::parse("01").unwrap().is_fully_specified());
+        assert!(!V2::parse("0x").unwrap().is_fully_specified());
+    }
+
+    #[test]
+    fn trans_state_numeric_encoding() {
+        assert_eq!(TransState::Yes.as_i8(), 1);
+        assert_eq!(TransState::Maybe.as_i8(), 0);
+        assert_eq!(TransState::No.as_i8(), -1);
+    }
+}

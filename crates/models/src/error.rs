@@ -1,0 +1,71 @@
+//! Delay-model error types.
+
+use std::error::Error;
+use std::fmt;
+
+use ssdm_cells::CellError;
+use ssdm_spice::SpiceError;
+
+/// Errors produced when evaluating a delay model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The stimulus cannot produce an output transition, mixes transition
+    /// directions, repeats a pin, or references a pin the cell lacks.
+    BadStimulus {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The underlying characterized-cell query failed.
+    Cell(CellError),
+    /// The reference simulator failed (only for [`crate::SpiceReference`]
+    /// and the inverter-collapsing baselines).
+    Spice(SpiceError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::BadStimulus { reason } => write!(f, "bad stimulus: {reason}"),
+            ModelError::Cell(e) => write!(f, "cell query failed: {e}"),
+            ModelError::Spice(e) => write!(f, "simulation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Cell(e) => Some(e),
+            ModelError::Spice(e) => Some(e),
+            ModelError::BadStimulus { .. } => None,
+        }
+    }
+}
+
+impl From<CellError> for ModelError {
+    fn from(e: CellError) -> ModelError {
+        ModelError::Cell(e)
+    }
+}
+
+impl From<SpiceError> for ModelError {
+    fn from(e: SpiceError) -> ModelError {
+        ModelError::Spice(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = ModelError::BadStimulus { reason: "mixed edges".into() };
+        assert!(e.to_string().contains("mixed edges"));
+        assert!(Error::source(&e).is_none());
+        let e = ModelError::from(SpiceError::NoCrossing { level: 0.5 });
+        assert!(Error::source(&e).is_some());
+        let e = ModelError::from(CellError::BadPin { pin: 3, n: 2 });
+        assert!(e.to_string().contains("pin 3"));
+    }
+}

@@ -1,0 +1,467 @@
+//! The combinational circuit DAG.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::gate::{Gate, GateType, NetId};
+
+/// A combinational gate-level circuit.
+///
+/// Gates are stored in **topological order** (fan-ins always precede their
+/// gate), which every traversal in STA/ITR/ATPG relies on. Construction via
+/// [`CircuitBuilder`] establishes and validates this invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Circuit {
+    name: String,
+    gates: Vec<Gate>,
+    inputs: Vec<NetId>,
+    outputs: Vec<NetId>,
+    fanouts: Vec<Vec<NetId>>,
+    levels: Vec<usize>,
+}
+
+impl Circuit {
+    /// Circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All gates, in topological order. `gates()[id.index()]` is the gate
+    /// driving net `id`.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate driving `net`.
+    pub fn gate(&self, net: NetId) -> &Gate {
+        &self.gates[net.index()]
+    }
+
+    /// Primary inputs.
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary outputs.
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Nets that consume `net` as a fan-in.
+    pub fn fanouts(&self, net: NetId) -> &[NetId] {
+        &self.fanouts[net.index()]
+    }
+
+    /// Topological level of `net` (inputs are level 0).
+    pub fn level(&self, net: NetId) -> usize {
+        self.levels[net.index()]
+    }
+
+    /// The largest level in the circuit (its logic depth).
+    pub fn depth(&self) -> usize {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of nets (= gates, counting primary inputs).
+    pub fn n_nets(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of logic gates (excluding primary inputs).
+    pub fn n_gates(&self) -> usize {
+        self.gates.len() - self.inputs.len()
+    }
+
+    /// Iterates net ids in topological order.
+    pub fn topo(&self) -> impl Iterator<Item = NetId> {
+        (0..self.gates.len()).map(NetId)
+    }
+
+    /// Iterates net ids in reverse topological order.
+    pub fn topo_rev(&self) -> impl Iterator<Item = NetId> {
+        (0..self.gates.len()).rev().map(NetId)
+    }
+
+    /// Looks up a net by name.
+    pub fn find(&self, name: &str) -> Option<NetId> {
+        self.gates
+            .iter()
+            .position(|g| g.name == name)
+            .map(NetId)
+    }
+
+    /// True when `net` is a primary input.
+    pub fn is_input(&self, net: NetId) -> bool {
+        self.gate(net).gtype == GateType::Input
+    }
+
+    /// True when `net` is a primary output.
+    pub fn is_output(&self, net: NetId) -> bool {
+        self.outputs.contains(&net)
+    }
+
+    /// Evaluates the circuit on a full input assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `assignment.len() != inputs().len()`.
+    pub fn eval(&self, assignment: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            assignment.len(),
+            self.inputs.len(),
+            "assignment length mismatch"
+        );
+        let mut values = vec![false; self.gates.len()];
+        for (pi, &v) in self.inputs.iter().zip(assignment) {
+            values[pi.index()] = v;
+        }
+        let mut fanin_vals = Vec::new();
+        for id in self.topo() {
+            let g = self.gate(id);
+            if g.gtype == GateType::Input {
+                continue;
+            }
+            fanin_vals.clear();
+            fanin_vals.extend(g.fanin.iter().map(|f| values[f.index()]));
+            values[id.index()] = g.gtype.eval(&fanin_vals);
+        }
+        self.outputs.iter().map(|o| values[o.index()]).collect()
+    }
+
+    /// Per-type gate counts, for benchmark statistics reports.
+    pub fn gate_histogram(&self) -> HashMap<GateType, usize> {
+        let mut h = HashMap::new();
+        for g in &self.gates {
+            *h.entry(g.gtype).or_insert(0) += 1;
+        }
+        h
+    }
+}
+
+/// Builds a [`Circuit`] from named gates, resolving references and
+/// validating the result.
+///
+/// # Example
+///
+/// ```
+/// use ssdm_netlist::{CircuitBuilder, GateType};
+///
+/// let mut b = CircuitBuilder::new("half");
+/// b.input("a");
+/// b.input("b");
+/// b.gate("n", GateType::Nand, &["a", "b"])?;
+/// b.gate("y", GateType::Not, &["n"])?;
+/// b.output("y");
+/// let c = b.build()?;
+/// assert_eq!(c.n_gates(), 2);
+/// assert_eq!(c.eval(&[true, true]), vec![true]); // AND via NAND+NOT
+/// # Ok::<(), ssdm_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CircuitBuilder {
+    name: String,
+    defs: Vec<(String, GateType, Vec<String>)>,
+    outputs: Vec<String>,
+}
+
+impl CircuitBuilder {
+    /// Creates a builder for a named circuit.
+    pub fn new(name: impl Into<String>) -> CircuitBuilder {
+        CircuitBuilder {
+            name: name.into(),
+            defs: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Declares a primary input net.
+    pub fn input(&mut self, name: impl Into<String>) -> &mut Self {
+        self.defs.push((name.into(), GateType::Input, Vec::new()));
+        self
+    }
+
+    /// Declares a gate driving net `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::BadFanin`] when the fan-in count is invalid
+    /// for the gate type.
+    pub fn gate(
+        &mut self,
+        name: impl Into<String>,
+        gtype: GateType,
+        fanin: &[&str],
+    ) -> Result<&mut Self, NetlistError> {
+        let name = name.into();
+        let (lo, hi) = gtype.fanin_range();
+        if fanin.len() < lo || fanin.len() > hi {
+            return Err(NetlistError::BadFanin {
+                name,
+                got: fanin.len(),
+            });
+        }
+        self.defs
+            .push((name, gtype, fanin.iter().map(|s| s.to_string()).collect()));
+        Ok(self)
+    }
+
+    /// Declares a primary output.
+    pub fn output(&mut self, name: impl Into<String>) -> &mut Self {
+        self.outputs.push(name.into());
+        self
+    }
+
+    /// Resolves names, topologically sorts and validates.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::DuplicateNet`] — a name is driven twice;
+    /// * [`NetlistError::UnknownNet`] / [`NetlistError::UnknownOutput`] —
+    ///   dangling references;
+    /// * [`NetlistError::Cyclic`] — a combinational loop;
+    /// * [`NetlistError::Empty`] — no gates or no outputs.
+    pub fn build(self) -> Result<Circuit, NetlistError> {
+        if self.defs.is_empty() || self.outputs.is_empty() {
+            return Err(NetlistError::Empty);
+        }
+        let mut index: HashMap<&str, usize> = HashMap::with_capacity(self.defs.len());
+        for (i, (name, _, _)) in self.defs.iter().enumerate() {
+            if index.insert(name.as_str(), i).is_some() {
+                return Err(NetlistError::DuplicateNet { name: name.clone() });
+            }
+        }
+        // Resolve fan-ins to definition indices.
+        let mut fanin_idx: Vec<Vec<usize>> = Vec::with_capacity(self.defs.len());
+        for (name, _, fanin) in &self.defs {
+            let mut row = Vec::with_capacity(fanin.len());
+            for f in fanin {
+                match index.get(f.as_str()) {
+                    Some(&i) => row.push(i),
+                    None => {
+                        let _ = name;
+                        return Err(NetlistError::UnknownNet { name: f.clone() });
+                    }
+                }
+            }
+            fanin_idx.push(row);
+        }
+        // Kahn topological sort.
+        let n = self.defs.len();
+        let mut indegree = vec![0usize; n];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, row) in fanin_idx.iter().enumerate() {
+            indegree[i] = row.len();
+            for &f in row {
+                consumers[f].push(i);
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let i = queue[head];
+            head += 1;
+            order.push(i);
+            for &c in &consumers[i] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if order.len() != n {
+            let stuck = (0..n)
+                .find(|&i| indegree[i] > 0)
+                .expect("cycle implies a stuck node");
+            return Err(NetlistError::Cyclic {
+                name: self.defs[stuck].0.clone(),
+            });
+        }
+        // Remap definition index → topological position.
+        let mut position = vec![0usize; n];
+        for (pos, &i) in order.iter().enumerate() {
+            position[i] = pos;
+        }
+        // Resolve outputs while `index` still borrows the definitions.
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        for o in &self.outputs {
+            match index.get(o.as_str()) {
+                Some(&i) => outputs.push(NetId(position[i])),
+                None => return Err(NetlistError::UnknownOutput { name: o.clone() }),
+            }
+        }
+        drop(index);
+        let mut gates: Vec<Option<Gate>> = vec![None; n];
+        for (i, (name, gtype, _)) in self.defs.into_iter().enumerate() {
+            gates[position[i]] = Some(Gate {
+                name,
+                gtype,
+                fanin: fanin_idx[i].iter().map(|&f| NetId(position[f])).collect(),
+            });
+        }
+        let gates: Vec<Gate> = gates.into_iter().map(|g| g.expect("all placed")).collect();
+        let inputs: Vec<NetId> = gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.gtype == GateType::Input)
+            .map(|(i, _)| NetId(i))
+            .collect();
+        let mut fanouts: Vec<Vec<NetId>> = vec![Vec::new(); n];
+        let mut levels = vec![0usize; n];
+        for (i, g) in gates.iter().enumerate() {
+            let mut lvl = 0;
+            for &f in &g.fanin {
+                fanouts[f.index()].push(NetId(i));
+                lvl = lvl.max(levels[f.index()] + 1);
+            }
+            levels[i] = lvl;
+        }
+        Ok(Circuit {
+            name: self.name,
+            gates,
+            inputs,
+            outputs,
+            fanouts,
+            levels,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c17() -> Circuit {
+        crate::suite::c17()
+    }
+
+    #[test]
+    fn c17_shape() {
+        let c = c17();
+        assert_eq!(c.inputs().len(), 5);
+        assert_eq!(c.outputs().len(), 2);
+        assert_eq!(c.n_gates(), 6);
+        assert_eq!(c.n_nets(), 11);
+        assert!(c.depth() >= 3);
+    }
+
+    #[test]
+    fn topological_invariant() {
+        let c = c17();
+        for id in c.topo() {
+            for &f in &c.gate(id).fanin {
+                assert!(f.index() < id.index(), "fan-in after gate");
+            }
+        }
+    }
+
+    #[test]
+    fn fanouts_are_inverse_of_fanins() {
+        let c = c17();
+        for id in c.topo() {
+            for &f in &c.gate(id).fanin {
+                assert!(c.fanouts(f).contains(&id));
+            }
+        }
+    }
+
+    #[test]
+    fn c17_truth_sample() {
+        let c = c17();
+        // All-ones: trace through the real c17.
+        // 10 = NAND(1,3)=0, 11 = NAND(3,6)=0, 16 = NAND(2,11)=1,
+        // 19 = NAND(11,7)=1, 22 = NAND(10,16)=1, 23 = NAND(16,19)=0.
+        assert_eq!(c.eval(&[true; 5]), vec![true, false]);
+        // All-zeros: 10=1, 11=1, 16=1, 19=1, 22=0, 23=0... check:
+        // 22 = NAND(10,16) = NAND(1,1) = 0; 23 = NAND(16,19) = 0.
+        assert_eq!(c.eval(&[false; 5]), vec![false, false]);
+    }
+
+    #[test]
+    fn builder_rejects_duplicates() {
+        let mut b = CircuitBuilder::new("t");
+        b.input("a");
+        b.input("a");
+        b.output("a");
+        assert!(matches!(b.build(), Err(NetlistError::DuplicateNet { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_unknown_references() {
+        let mut b = CircuitBuilder::new("t");
+        b.input("a");
+        b.gate("y", GateType::Not, &["ghost"]).unwrap();
+        b.output("y");
+        assert!(matches!(b.build(), Err(NetlistError::UnknownNet { .. })));
+
+        let mut b = CircuitBuilder::new("t");
+        b.input("a");
+        b.output("ghost");
+        assert!(matches!(b.build(), Err(NetlistError::UnknownOutput { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_cycles() {
+        let mut b = CircuitBuilder::new("t");
+        b.input("a");
+        b.gate("x", GateType::Nand, &["a", "y"]).unwrap();
+        b.gate("y", GateType::Nand, &["a", "x"]).unwrap();
+        b.output("y");
+        assert!(matches!(b.build(), Err(NetlistError::Cyclic { .. })));
+    }
+
+    #[test]
+    fn builder_rejects_bad_fanin() {
+        let mut b = CircuitBuilder::new("t");
+        b.input("a");
+        assert!(matches!(
+            b.gate("y", GateType::Nand, &["a"]),
+            Err(NetlistError::BadFanin { .. })
+        ));
+        assert!(matches!(
+            b.gate("z", GateType::Not, &["a", "a"]),
+            Err(NetlistError::BadFanin { .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_empty() {
+        assert!(matches!(
+            CircuitBuilder::new("t").build(),
+            Err(NetlistError::Empty)
+        ));
+        let mut b = CircuitBuilder::new("t");
+        b.input("a");
+        assert!(matches!(b.build(), Err(NetlistError::Empty)));
+    }
+
+    #[test]
+    fn out_of_order_definitions_are_sorted() {
+        let mut b = CircuitBuilder::new("t");
+        // Gate defined before its fan-in exists textually.
+        b.gate("y", GateType::Not, &["a"]).unwrap();
+        b.input("a");
+        b.output("y");
+        let c = b.build().unwrap();
+        let y = c.find("y").unwrap();
+        let a = c.find("a").unwrap();
+        assert!(a.index() < y.index());
+        assert_eq!(c.level(a), 0);
+        assert_eq!(c.level(y), 1);
+    }
+
+    #[test]
+    fn lookup_and_flags() {
+        let c = c17();
+        let g10 = c.find("10").unwrap();
+        assert!(!c.is_input(g10));
+        let pi = c.find("1").unwrap();
+        assert!(c.is_input(pi));
+        let po = c.find("22").unwrap();
+        assert!(c.is_output(po));
+        assert!(c.find("nonexistent").is_none());
+        let h = c.gate_histogram();
+        assert_eq!(h[&GateType::Nand], 6);
+        assert_eq!(h[&GateType::Input], 5);
+    }
+}

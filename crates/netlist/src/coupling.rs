@@ -1,0 +1,104 @@
+//! Crosstalk-site extraction.
+//!
+//! The crosstalk-delay-fault ATPG of Section 7 needs `(aggressor, victim)`
+//! line pairs. The paper assumes sites are already identified (from
+//! layout); lacking layout, we sample plausible pairs pseudo-randomly but
+//! deterministically: nets at nearby logic levels (wires routed in the same
+//! region tend to belong to nearby levels) that are not directly connected.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::Circuit;
+use crate::gate::NetId;
+
+/// A crosstalk fault site: an aggressor line coupling into a victim line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CrosstalkSite {
+    /// The line whose transition injects the disturbance.
+    pub aggressor: NetId,
+    /// The line whose transition is slowed.
+    pub victim: NetId,
+}
+
+/// Samples up to `count` distinct crosstalk sites from `circuit`,
+/// deterministically for a given `seed`.
+///
+/// Constraints enforced per site:
+/// * aggressor ≠ victim and neither is directly connected to the other
+///   (no shared gate),
+/// * the victim is a gate output (crosstalk on a primary-input pad is a
+///   board-level problem, not a gate-delay one),
+/// * levels differ by at most 3 (a crude locality proxy).
+///
+/// Returns fewer than `count` sites when the circuit is too small to
+/// provide them.
+pub fn coupling_sites(circuit: &Circuit, count: usize, seed: u64) -> Vec<CrosstalkSite> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = circuit.n_nets();
+    let mut sites = Vec::with_capacity(count);
+    let mut attempts = 0usize;
+    let max_attempts = count.saturating_mul(200).max(1000);
+    while sites.len() < count && attempts < max_attempts {
+        attempts += 1;
+        let a = NetId(rng.gen_range(0..n));
+        let v = NetId(rng.gen_range(0..n));
+        if a == v || circuit.is_input(v) {
+            continue;
+        }
+        let lvl_a = circuit.level(a) as isize;
+        let lvl_v = circuit.level(v) as isize;
+        if (lvl_a - lvl_v).abs() > 3 {
+            continue;
+        }
+        // Not directly connected in either direction.
+        if circuit.gate(v).fanin.contains(&a) || circuit.gate(a).fanin.contains(&v) {
+            continue;
+        }
+        let site = CrosstalkSite { aggressor: a, victim: v };
+        if !sites.contains(&site) {
+            sites.push(site);
+        }
+    }
+    sites
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    #[test]
+    fn sites_satisfy_constraints() {
+        let c = suite::synthetic("c880s").unwrap();
+        let sites = coupling_sites(&c, 50, 1);
+        assert_eq!(sites.len(), 50);
+        for s in &sites {
+            assert_ne!(s.aggressor, s.victim);
+            assert!(!c.is_input(s.victim));
+            assert!(!c.gate(s.victim).fanin.contains(&s.aggressor));
+            assert!(!c.gate(s.aggressor).fanin.contains(&s.victim));
+            let d = c.level(s.aggressor) as isize - c.level(s.victim) as isize;
+            assert!(d.abs() <= 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let c = suite::synthetic("c880s").unwrap();
+        assert_eq!(coupling_sites(&c, 20, 7), coupling_sites(&c, 20, 7));
+        assert_ne!(coupling_sites(&c, 20, 7), coupling_sites(&c, 20, 8));
+    }
+
+    #[test]
+    fn small_circuit_yields_fewer_sites() {
+        let c = suite::c17();
+        let sites = coupling_sites(&c, 1000, 3);
+        assert!(!sites.is_empty());
+        assert!(sites.len() < 1000);
+        // All distinct.
+        for (i, s) in sites.iter().enumerate() {
+            assert!(!sites[..i].contains(s));
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Netlist error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or parsing circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate references a net name that was never defined.
+    UnknownNet {
+        /// The missing name.
+        name: String,
+    },
+    /// Two gates drive a net of the same name.
+    DuplicateNet {
+        /// The clashing name.
+        name: String,
+    },
+    /// A gate's fan-in count is invalid for its type.
+    BadFanin {
+        /// Gate (output net) name.
+        name: String,
+        /// Supplied fan-in count.
+        got: usize,
+    },
+    /// The netlist contains a combinational cycle.
+    Cyclic {
+        /// A net on the cycle.
+        name: String,
+    },
+    /// An output declaration names an undefined net.
+    UnknownOutput {
+        /// The missing name.
+        name: String,
+    },
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The circuit is empty or has no primary outputs.
+    Empty,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownNet { name } => write!(f, "unknown net {name:?}"),
+            NetlistError::DuplicateNet { name } => write!(f, "net {name:?} driven twice"),
+            NetlistError::BadFanin { name, got } => {
+                write!(f, "gate {name:?} has invalid fan-in count {got}")
+            }
+            NetlistError::Cyclic { name } => write!(f, "combinational cycle through {name:?}"),
+            NetlistError::UnknownOutput { name } => write!(f, "output {name:?} is undefined"),
+            NetlistError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            NetlistError::Empty => write!(f, "circuit has no gates or no outputs"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(NetlistError::UnknownNet { name: "x".into() }.to_string().contains("x"));
+        assert!(NetlistError::Parse { line: 3, reason: "junk".into() }
+            .to_string()
+            .contains("line 3"));
+        assert_eq!(NetlistError::Empty.to_string(), "circuit has no gates or no outputs");
+    }
+}

@@ -1,0 +1,180 @@
+//! Gate-level primitive types.
+
+use std::fmt;
+
+/// The gate types a [`crate::Circuit`] may contain.
+///
+/// `Input` is the pseudo-gate driving a primary input net. XOR/XNOR are
+/// deliberately absent: the ISCAS85 parser expands them into NAND networks
+/// at parse time so every downstream analysis (STA, ITR, ATPG) deals only
+/// with primitives that have a controlling value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateType {
+    /// Primary input (no fan-in).
+    Input,
+    /// Buffer (one fan-in).
+    Buf,
+    /// Inverter (one fan-in).
+    Not,
+    /// AND (≥ 2 fan-ins).
+    And,
+    /// NAND (≥ 2 fan-ins).
+    Nand,
+    /// OR (≥ 2 fan-ins).
+    Or,
+    /// NOR (≥ 2 fan-ins).
+    Nor,
+}
+
+impl GateType {
+    /// The value which, applied to any single input, determines the output
+    /// (`None` for Input/Buf/Not, where the notion is degenerate).
+    pub fn controlling_value(self) -> Option<bool> {
+        match self {
+            GateType::And | GateType::Nand => Some(false),
+            GateType::Or | GateType::Nor => Some(true),
+            GateType::Input | GateType::Buf | GateType::Not => None,
+        }
+    }
+
+    /// True when the output is the complement of the gate function's
+    /// AND/OR core (NAND, NOR, NOT).
+    pub fn inverting(self) -> bool {
+        matches!(self, GateType::Nand | GateType::Nor | GateType::Not)
+    }
+
+    /// Evaluates the Boolean function.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `inputs` is empty for a non-`Input` gate, or non-empty
+    /// for `Input`.
+    pub fn eval(self, inputs: &[bool]) -> bool {
+        match self {
+            GateType::Input => panic!("cannot evaluate a primary input"),
+            GateType::Buf => inputs[0],
+            GateType::Not => !inputs[0],
+            GateType::And => inputs.iter().all(|&b| b),
+            GateType::Nand => !inputs.iter().all(|&b| b),
+            GateType::Or => inputs.iter().any(|&b| b),
+            GateType::Nor => !inputs.iter().any(|&b| b),
+        }
+    }
+
+    /// Valid fan-in range `(min, max)`; `max` is `usize::MAX` for
+    /// multi-input gates.
+    pub fn fanin_range(self) -> (usize, usize) {
+        match self {
+            GateType::Input => (0, 0),
+            GateType::Buf | GateType::Not => (1, 1),
+            GateType::And | GateType::Nand | GateType::Or | GateType::Nor => (2, usize::MAX),
+        }
+    }
+
+    /// The keyword used in `.bench` files.
+    pub fn bench_keyword(self) -> &'static str {
+        match self {
+            GateType::Input => "INPUT",
+            GateType::Buf => "BUFF",
+            GateType::Not => "NOT",
+            GateType::And => "AND",
+            GateType::Nand => "NAND",
+            GateType::Or => "OR",
+            GateType::Nor => "NOR",
+        }
+    }
+}
+
+impl fmt::Display for GateType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.bench_keyword())
+    }
+}
+
+/// A net identifier: the index of its driving gate in the circuit's gate
+/// array (every net is driven by exactly one gate or primary input).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub usize);
+
+impl NetId {
+    /// The underlying index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Net name (the name of the gate's output net).
+    pub name: String,
+    /// Gate type.
+    pub gtype: GateType,
+    /// Fan-in nets, in pin order (pin order maps to stack position for
+    /// timing: pin 0 = position 0, closest to the output).
+    pub fanin: Vec<NetId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controlling_values() {
+        assert_eq!(GateType::Nand.controlling_value(), Some(false));
+        assert_eq!(GateType::And.controlling_value(), Some(false));
+        assert_eq!(GateType::Nor.controlling_value(), Some(true));
+        assert_eq!(GateType::Or.controlling_value(), Some(true));
+        assert_eq!(GateType::Not.controlling_value(), None);
+        assert_eq!(GateType::Input.controlling_value(), None);
+    }
+
+    #[test]
+    fn inversion() {
+        assert!(GateType::Nand.inverting());
+        assert!(GateType::Nor.inverting());
+        assert!(GateType::Not.inverting());
+        assert!(!GateType::And.inverting());
+        assert!(!GateType::Buf.inverting());
+    }
+
+    #[test]
+    fn eval_matrix() {
+        assert!(!GateType::Nand.eval(&[true, true]));
+        assert!(GateType::Nand.eval(&[true, false]));
+        assert!(GateType::And.eval(&[true, true]));
+        assert!(GateType::Nor.eval(&[false, false]));
+        assert!(!GateType::Or.eval(&[false, false]));
+        assert!(GateType::Or.eval(&[false, true]));
+        assert!(GateType::Not.eval(&[false]));
+        assert!(GateType::Buf.eval(&[true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "primary input")]
+    fn input_eval_panics() {
+        GateType::Input.eval(&[]);
+    }
+
+    #[test]
+    fn fanin_ranges() {
+        assert_eq!(GateType::Input.fanin_range(), (0, 0));
+        assert_eq!(GateType::Not.fanin_range(), (1, 1));
+        assert_eq!(GateType::Nand.fanin_range().0, 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(GateType::Nand.to_string(), "NAND");
+        assert_eq!(GateType::Buf.to_string(), "BUFF");
+        assert_eq!(NetId(4).to_string(), "n4");
+        assert_eq!(NetId(4).index(), 4);
+    }
+}

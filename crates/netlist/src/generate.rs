@@ -1,0 +1,250 @@
+//! Seeded synthetic benchmark generator.
+//!
+//! We do not ship the copyrighted ISCAS85 netlists (beyond the tiny,
+//! universally reproduced `c17`). For Table 2-class experiments what
+//! matters is the *statistical* shape of the circuits — gate count, gate
+//! mix, fan-in distribution, reconvergence and logic depth — so this
+//! module generates circuits matched to those statistics, deterministically
+//! from a seed. See DESIGN.md §3 for the substitution argument.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::{Circuit, CircuitBuilder};
+use crate::gate::GateType;
+
+/// Configuration for the synthetic generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Circuit name.
+    pub name: String,
+    /// Number of primary inputs.
+    pub n_inputs: usize,
+    /// Number of primary outputs (all dangling nets become outputs too).
+    pub n_outputs: usize,
+    /// Number of logic gates.
+    pub n_gates: usize,
+    /// RNG seed; equal configs generate identical circuits.
+    pub seed: u64,
+    /// Maximum gate fan-in (the characterized library supports up to 4).
+    pub max_fanin: usize,
+    /// Probability that a fan-in is drawn from the recent-net window
+    /// (drives logic depth up) rather than uniformly (drives
+    /// reconvergence).
+    pub locality: f64,
+    /// Size of the recent-net window.
+    pub window: usize,
+}
+
+impl GeneratorConfig {
+    /// A reasonable default for an ISCAS85-class circuit of `n_gates`
+    /// gates.
+    pub fn iscas_like(name: impl Into<String>, n_inputs: usize, n_outputs: usize, n_gates: usize, seed: u64) -> GeneratorConfig {
+        GeneratorConfig {
+            name: name.into(),
+            n_inputs,
+            n_outputs,
+            n_gates,
+            seed,
+            max_fanin: 4,
+            locality: 0.72,
+            window: (n_gates / 14).max(8),
+        }
+    }
+}
+
+/// Gate-type mix modeled on the published ISCAS85 statistics: NAND/AND
+/// heavy, a sizeable inverter population, few buffers.
+fn pick_type(rng: &mut StdRng) -> GateType {
+    let x: f64 = rng.gen();
+    if x < 0.34 {
+        GateType::Nand
+    } else if x < 0.55 {
+        GateType::And
+    } else if x < 0.66 {
+        GateType::Nor
+    } else if x < 0.74 {
+        GateType::Or
+    } else if x < 0.93 {
+        GateType::Not
+    } else {
+        GateType::Buf
+    }
+}
+
+fn pick_fanin_count(rng: &mut StdRng, max_fanin: usize) -> usize {
+    let x: f64 = rng.gen();
+    let n = if x < 0.58 {
+        2
+    } else if x < 0.86 {
+        3
+    } else {
+        4
+    };
+    n.min(max_fanin)
+}
+
+/// Generates a synthetic combinational circuit.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (`n_inputs == 0`,
+/// `n_gates == 0`, `n_outputs == 0` or `max_fanin < 2`) — generator
+/// configurations are produced by code, not end users.
+pub fn generate(cfg: &GeneratorConfig) -> Circuit {
+    assert!(cfg.n_inputs > 0, "need at least one input");
+    assert!(cfg.n_gates > 0, "need at least one gate");
+    assert!(cfg.n_outputs > 0, "need at least one output");
+    assert!(cfg.max_fanin >= 2, "max fan-in must allow 2-input gates");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = CircuitBuilder::new(cfg.name.clone());
+    let mut nets: Vec<String> = Vec::with_capacity(cfg.n_inputs + cfg.n_gates);
+    for i in 0..cfg.n_inputs {
+        let name = format!("pi{i}");
+        b.input(&name);
+        nets.push(name);
+    }
+    let mut fanout_count = vec![0usize; cfg.n_inputs + cfg.n_gates];
+    // Nets not yet used as a fan-in anywhere (kept lazily compacted).
+    let mut unconsumed: Vec<usize> = (0..cfg.n_inputs).collect();
+    for g in 0..cfg.n_gates {
+        let gtype = pick_type(&mut rng);
+        let want = match gtype {
+            GateType::Not | GateType::Buf => 1,
+            _ => pick_fanin_count(&mut rng, cfg.max_fanin),
+        };
+        let mut fanin: Vec<usize> = Vec::with_capacity(want);
+        let mut guard = 0;
+        while fanin.len() < want && guard < 1000 {
+            guard += 1;
+            let idx = if rng.gen::<f64>() < cfg.locality && nets.len() > cfg.window {
+                rng.gen_range(nets.len() - cfg.window..nets.len())
+            } else if !unconsumed.is_empty() && rng.gen::<f64>() < 0.8 {
+                // Prefer consuming a dangling net: real circuits have no
+                // dead logic, and this keeps primary outputs deep.
+                unconsumed[rng.gen_range(0..unconsumed.len())]
+            } else {
+                rng.gen_range(0..nets.len())
+            };
+            if !fanin.contains(&idx) {
+                fanin.push(idx);
+            }
+        }
+        // A tiny circuit may not have `want` distinct nets; degrade to what
+        // exists (switching a starved multi-input gate to an inverter).
+        let gtype = if fanin.len() == 1 && want > 1 {
+            GateType::Not
+        } else {
+            gtype
+        };
+        let name = format!("g{g}");
+        let fanin_names: Vec<&str> = fanin.iter().map(|&i| nets[i].as_str()).collect();
+        b.gate(&name, gtype, &fanin_names)
+            .expect("generator produces valid fan-in counts");
+        for &i in &fanin {
+            fanout_count[i] += 1;
+        }
+        unconsumed.push(nets.len());
+        nets.push(name);
+        // Compact the unconsumed pool every so often.
+        if unconsumed.len() > 64 || g + 1 == cfg.n_gates {
+            unconsumed.retain(|&i| fanout_count[i] == 0);
+        }
+    }
+    // Outputs: every dangling net must be observable, then top up with the
+    // most recently defined (deepest) nets to reach the requested count.
+    let mut outputs: Vec<usize> = (cfg.n_inputs..nets.len())
+        .filter(|&i| fanout_count[i] == 0)
+        .collect();
+    let mut cursor = nets.len();
+    while outputs.len() < cfg.n_outputs && cursor > cfg.n_inputs {
+        cursor -= 1;
+        if !outputs.contains(&cursor) {
+            outputs.push(cursor);
+        }
+    }
+    for &o in &outputs {
+        b.output(&nets[o]);
+    }
+    b.build().expect("generator output is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n_gates: usize, seed: u64) -> GeneratorConfig {
+        GeneratorConfig::iscas_like("t", 16, 8, n_gates, seed)
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let a = generate(&cfg(200, 42));
+        let b = generate(&cfg(200, 42));
+        assert_eq!(a, b);
+        let c = generate(&cfg(200, 43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn matches_requested_sizes() {
+        let c = generate(&cfg(383, 880));
+        assert_eq!(c.n_gates(), 383);
+        assert_eq!(c.inputs().len(), 16);
+        assert!(c.outputs().len() >= 8);
+    }
+
+    #[test]
+    fn no_dangling_nets() {
+        let c = generate(&cfg(250, 7));
+        for id in c.topo() {
+            if c.is_input(id) {
+                continue;
+            }
+            assert!(
+                !c.fanouts(id).is_empty() || c.is_output(id),
+                "net {} dangles",
+                c.gate(id).name
+            );
+        }
+    }
+
+    #[test]
+    fn depth_is_iscas_like() {
+        // ISCAS85 depths run roughly 20–50 levels.
+        let c = generate(&GeneratorConfig::iscas_like("d", 60, 26, 383, 880));
+        assert!(c.depth() >= 10, "depth {} too shallow", c.depth());
+        assert!(c.depth() <= 120, "depth {} too deep", c.depth());
+    }
+
+    #[test]
+    fn gate_mix_is_plausible() {
+        let c = generate(&cfg(1000, 99));
+        let h = c.gate_histogram();
+        let nand = *h.get(&GateType::Nand).unwrap_or(&0);
+        let not = *h.get(&GateType::Not).unwrap_or(&0);
+        assert!(nand > 200, "nand count {nand}");
+        assert!(not > 100, "inverter count {not}");
+        // Fan-in never exceeds the configured maximum.
+        for id in c.topo() {
+            assert!(c.gate(id).fanin.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn evaluates_without_panicking() {
+        let c = generate(&cfg(120, 5));
+        let zeros = vec![false; c.inputs().len()];
+        let ones = vec![true; c.inputs().len()];
+        assert_eq!(c.eval(&zeros).len(), c.outputs().len());
+        assert_eq!(c.eval(&ones).len(), c.outputs().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn rejects_zero_inputs() {
+        let mut c = cfg(10, 1);
+        c.n_inputs = 0;
+        generate(&c);
+    }
+}

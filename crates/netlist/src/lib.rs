@@ -1,0 +1,34 @@
+//! Gate-level netlists for the SSDM workspace: the circuit DAG, the ISCAS85
+//! `.bench` parser/writer, the embedded genuine `c17`, a seeded synthetic
+//! ISCAS85-class benchmark generator, and crosstalk-site extraction for the
+//! Section 7 ATPG.
+//!
+//! # Example
+//!
+//! ```
+//! use ssdm_netlist::suite;
+//!
+//! let c17 = suite::c17();
+//! assert_eq!(c17.n_gates(), 6);
+//! for circuit in suite::bench_suite() {
+//!     assert!(!circuit.outputs().is_empty());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod coupling;
+pub mod error;
+pub mod gate;
+pub mod generate;
+pub mod parse;
+pub mod suite;
+
+pub use circuit::{Circuit, CircuitBuilder};
+pub use coupling::{coupling_sites, CrosstalkSite};
+pub use error::NetlistError;
+pub use gate::{Gate, GateType, NetId};
+pub use generate::{generate, GeneratorConfig};
+pub use parse::{parse_bench, write_bench};

@@ -1,0 +1,329 @@
+//! ISCAS85 `.bench` format parser and writer.
+//!
+//! The format:
+//!
+//! ```text
+//! # comment
+//! INPUT(1)
+//! OUTPUT(22)
+//! 10 = NAND(1, 3)
+//! ```
+//!
+//! XOR/XNOR gates are accepted and **expanded into NAND networks** at parse
+//! time (the classic four-NAND construction), so downstream timing analyses
+//! only ever see primitives with a controlling value. Multi-input XORs are
+//! folded pairwise.
+
+use crate::circuit::{Circuit, CircuitBuilder};
+use crate::error::NetlistError;
+use crate::gate::GateType;
+
+/// Parses a `.bench`-format netlist.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] with a line number for malformed text,
+/// plus any structural error from [`CircuitBuilder::build`].
+pub fn parse_bench(name: &str, text: &str) -> Result<Circuit, NetlistError> {
+    let mut b = CircuitBuilder::new(name);
+    let mut xor_counter = 0usize;
+    for (ln0, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let ln = ln0 + 1;
+        if let Some(rest) = strip_directive(line, "INPUT") {
+            b.input(parse_single_arg(rest, ln)?);
+        } else if let Some(rest) = strip_directive(line, "OUTPUT") {
+            b.output(parse_single_arg(rest, ln)?);
+        } else if let Some(eq) = line.find('=') {
+            let target = line[..eq].trim();
+            if target.is_empty() {
+                return Err(NetlistError::Parse {
+                    line: ln,
+                    reason: "missing net name before '='".into(),
+                });
+            }
+            let rhs = line[eq + 1..].trim();
+            let (kw, args) = parse_call(rhs, ln)?;
+            let arg_refs: Vec<&str> = args.iter().map(String::as_str).collect();
+            match kw.to_ascii_uppercase().as_str() {
+                "AND" => push_gate(&mut b, target, GateType::And, &arg_refs, ln)?,
+                "NAND" => push_gate(&mut b, target, GateType::Nand, &arg_refs, ln)?,
+                "OR" => push_gate(&mut b, target, GateType::Or, &arg_refs, ln)?,
+                "NOR" => push_gate(&mut b, target, GateType::Nor, &arg_refs, ln)?,
+                "NOT" | "INV" => push_gate(&mut b, target, GateType::Not, &arg_refs, ln)?,
+                "BUF" | "BUFF" => push_gate(&mut b, target, GateType::Buf, &arg_refs, ln)?,
+                "XOR" => expand_xor(&mut b, target, &arg_refs, false, &mut xor_counter, ln)?,
+                "XNOR" => expand_xor(&mut b, target, &arg_refs, true, &mut xor_counter, ln)?,
+                other => {
+                    return Err(NetlistError::Parse {
+                        line: ln,
+                        reason: format!("unknown gate keyword {other:?}"),
+                    })
+                }
+            }
+        } else {
+            return Err(NetlistError::Parse {
+                line: ln,
+                reason: format!("unrecognized line {line:?}"),
+            });
+        }
+    }
+    b.build()
+}
+
+fn strip_directive<'a>(line: &'a str, kw: &str) -> Option<&'a str> {
+    let upper = line.to_ascii_uppercase();
+    if upper.starts_with(kw) {
+        Some(line[kw.len()..].trim())
+    } else {
+        None
+    }
+}
+
+fn parse_single_arg(rest: &str, ln: usize) -> Result<String, NetlistError> {
+    let inner = rest
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| NetlistError::Parse {
+            line: ln,
+            reason: "expected (name)".into(),
+        })?;
+    let name = inner.trim();
+    if name.is_empty() || name.contains(',') {
+        return Err(NetlistError::Parse {
+            line: ln,
+            reason: "expected exactly one name".into(),
+        });
+    }
+    Ok(name.to_owned())
+}
+
+fn parse_call(rhs: &str, ln: usize) -> Result<(String, Vec<String>), NetlistError> {
+    let open = rhs.find('(').ok_or_else(|| NetlistError::Parse {
+        line: ln,
+        reason: "expected GATE(args)".into(),
+    })?;
+    let close = rhs.rfind(')').ok_or_else(|| NetlistError::Parse {
+        line: ln,
+        reason: "missing closing parenthesis".into(),
+    })?;
+    if close < open {
+        return Err(NetlistError::Parse {
+            line: ln,
+            reason: "mismatched parentheses".into(),
+        });
+    }
+    let kw = rhs[..open].trim().to_owned();
+    let args: Vec<String> = rhs[open + 1..close]
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if args.is_empty() {
+        return Err(NetlistError::Parse {
+            line: ln,
+            reason: "gate has no arguments".into(),
+        });
+    }
+    Ok((kw, args))
+}
+
+fn push_gate(
+    b: &mut CircuitBuilder,
+    name: &str,
+    gtype: GateType,
+    args: &[&str],
+    ln: usize,
+) -> Result<(), NetlistError> {
+    // Single-input AND/OR appear in some ISCAS decks; treat as buffers.
+    let gtype = match (gtype, args.len()) {
+        (GateType::And | GateType::Or, 1) => GateType::Buf,
+        (GateType::Nand | GateType::Nor, 1) => GateType::Not,
+        (g, _) => g,
+    };
+    b.gate(name, gtype, args).map_err(|e| match e {
+        NetlistError::BadFanin { name, got } => NetlistError::Parse {
+            line: ln,
+            reason: format!("gate {name:?} has invalid fan-in count {got}"),
+        },
+        other => other,
+    })?;
+    Ok(())
+}
+
+/// Expands `target = XOR(a, b, …)` into the four-NAND construction,
+/// folding multi-input XORs pairwise. XNOR appends an inverter.
+fn expand_xor(
+    b: &mut CircuitBuilder,
+    target: &str,
+    args: &[&str],
+    invert: bool,
+    counter: &mut usize,
+    ln: usize,
+) -> Result<(), NetlistError> {
+    if args.len() < 2 {
+        return Err(NetlistError::Parse {
+            line: ln,
+            reason: "XOR needs at least two inputs".into(),
+        });
+    }
+    let mut acc = args[0].to_owned();
+    for (stage, rhs) in args[1..].iter().enumerate() {
+        let last = stage == args.len() - 2;
+        let out_name = if last && !invert {
+            target.to_owned()
+        } else {
+            *counter += 1;
+            format!("{target}__xor{}", *counter)
+        };
+        let m = {
+            *counter += 1;
+            format!("{target}__xor{}", *counter)
+        };
+        let p = {
+            *counter += 1;
+            format!("{target}__xor{}", *counter)
+        };
+        let q = {
+            *counter += 1;
+            format!("{target}__xor{}", *counter)
+        };
+        b.gate(&m, GateType::Nand, &[acc.as_str(), rhs])?;
+        b.gate(&p, GateType::Nand, &[acc.as_str(), m.as_str()])?;
+        b.gate(&q, GateType::Nand, &[rhs, m.as_str()])?;
+        b.gate(&out_name, GateType::Nand, &[p.as_str(), q.as_str()])?;
+        if last && invert {
+            b.gate(target, GateType::Not, &[out_name.as_str()])?;
+        }
+        acc = out_name;
+    }
+    Ok(())
+}
+
+/// Writes a circuit in `.bench` format (XOR expansions appear as their NAND
+/// networks — the expansion is not reversed).
+pub fn write_bench(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", circuit.name()));
+    for &pi in circuit.inputs() {
+        out.push_str(&format!("INPUT({})\n", circuit.gate(pi).name));
+    }
+    for &po in circuit.outputs() {
+        out.push_str(&format!("OUTPUT({})\n", circuit.gate(po).name));
+    }
+    for id in circuit.topo() {
+        let g = circuit.gate(id);
+        if g.gtype == GateType::Input {
+            continue;
+        }
+        let fanin: Vec<&str> = g
+            .fanin
+            .iter()
+            .map(|f| circuit.gate(*f).name.as_str())
+            .collect();
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            g.name,
+            g.gtype.bench_keyword(),
+            fanin.join(", ")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HALF_ADDER: &str = "
+# half adder
+INPUT(a)
+INPUT(b)
+OUTPUT(sum)
+OUTPUT(carry)
+sum = XOR(a, b)
+carry = AND(a, b)
+";
+
+    #[test]
+    fn parses_and_expands_xor() {
+        let c = parse_bench("ha", HALF_ADDER).unwrap();
+        assert_eq!(c.inputs().len(), 2);
+        assert_eq!(c.outputs().len(), 2);
+        // XOR expanded to 4 NANDs + the AND = 5 logic gates.
+        assert_eq!(c.n_gates(), 5);
+        // Truth table of the half adder.
+        assert_eq!(c.eval(&[false, false]), vec![false, false]);
+        assert_eq!(c.eval(&[true, false]), vec![true, false]);
+        assert_eq!(c.eval(&[false, true]), vec![true, false]);
+        assert_eq!(c.eval(&[true, true]), vec![false, true]);
+    }
+
+    #[test]
+    fn xnor_expansion() {
+        let text = "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = XNOR(a, b)\n";
+        let c = parse_bench("x", text).unwrap();
+        assert_eq!(c.eval(&[false, false]), vec![true]);
+        assert_eq!(c.eval(&[true, false]), vec![false]);
+        assert_eq!(c.eval(&[true, true]), vec![true]);
+    }
+
+    #[test]
+    fn three_input_xor_folds() {
+        let text = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\ny = XOR(a, b, c)\n";
+        let c = parse_bench("x3", text).unwrap();
+        for bits in 0..8u8 {
+            let a = [bits & 1 != 0, bits & 2 != 0, bits & 4 != 0];
+            let want = a[0] ^ a[1] ^ a[2];
+            assert_eq!(c.eval(&a), vec![want], "bits {bits:03b}");
+        }
+    }
+
+    #[test]
+    fn comments_and_case_are_tolerated() {
+        let text = "input(a) # primary\nOutput(y)\ny = not(a)\n";
+        let c = parse_bench("t", text).unwrap();
+        assert_eq!(c.eval(&[true]), vec![false]);
+    }
+
+    #[test]
+    fn single_input_and_becomes_buffer() {
+        let text = "INPUT(a)\nOUTPUT(y)\ny = AND(a)\n";
+        let c = parse_bench("t", text).unwrap();
+        assert_eq!(c.eval(&[true]), vec![true]);
+        assert_eq!(c.eval(&[false]), vec![false]);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n";
+        match parse_bench("t", bad) {
+            Err(NetlistError::Parse { line: 3, reason }) => assert!(reason.contains("FROB")),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_bench("t", "INPUT a\n").is_err());
+        assert!(parse_bench("t", "INPUT(a)\nOUTPUT(y)\ny = NAND(a\n").is_err());
+        assert!(parse_bench("t", "INPUT(a)\nOUTPUT(y)\n = NAND(a, a)\n").is_err());
+        assert!(parse_bench("t", "INPUT(a)\nOUTPUT(y)\ngibberish\n").is_err());
+        assert!(parse_bench("t", "INPUT(a)\nOUTPUT(y)\ny = NAND()\n").is_err());
+        assert!(parse_bench("t", "INPUT(a)\nOUTPUT(y)\ny = XOR(a)\n").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let c = crate::suite::c17();
+        let text = write_bench(&c);
+        let back = parse_bench("c17", &text).unwrap();
+        assert_eq!(back.n_gates(), c.n_gates());
+        assert_eq!(back.inputs().len(), c.inputs().len());
+        assert_eq!(back.outputs().len(), c.outputs().len());
+        // Functional equivalence over all 32 input patterns.
+        for bits in 0..32u8 {
+            let a: Vec<bool> = (0..5).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(back.eval(&a), c.eval(&a), "bits {bits:05b}");
+        }
+    }
+}

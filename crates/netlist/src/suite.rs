@@ -1,0 +1,125 @@
+//! The benchmark suite: the genuine `c17` plus synthetic ISCAS85-class
+//! circuits matched to the published statistics of the paper's benchmarks.
+
+use crate::circuit::Circuit;
+use crate::generate::{generate, GeneratorConfig};
+use crate::parse::parse_bench;
+
+/// The genuine ISCAS85 `c17` netlist (6 NAND2 gates — small enough to be
+/// reproduced bit-exactly everywhere).
+const C17_BENCH: &str = "\
+# c17 (ISCAS85)
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+";
+
+/// Parses the embedded genuine `c17`.
+///
+/// # Panics
+///
+/// Never panics in practice — the embedded text is validated by tests.
+pub fn c17() -> Circuit {
+    parse_bench("c17", C17_BENCH).expect("embedded c17 is valid")
+}
+
+/// Published size statistics of the ISCAS85 circuits used in Table 2, as
+/// `(name, inputs, outputs, gates, seed)` for the synthetic generator.
+const SUITE_STATS: &[(&str, usize, usize, usize, u64)] = &[
+    ("c880s", 60, 26, 383, 880),
+    ("c1355s", 41, 32, 546, 1355),
+    ("c1908s", 33, 25, 880, 1908),
+    ("c3540s", 50, 22, 1669, 3540),
+    ("c7552s", 207, 108, 3512, 7552),
+];
+
+/// Generates one synthetic suite member by name (e.g. `"c880s"`).
+pub fn synthetic(name: &str) -> Option<Circuit> {
+    SUITE_STATS
+        .iter()
+        .find(|&&(n, ..)| n == name)
+        .map(|&(n, pi, po, gates, seed)| {
+            generate(&GeneratorConfig::iscas_like(n, pi, po, gates, seed))
+        })
+}
+
+/// The full benchmark suite: genuine `c17` followed by the five synthetic
+/// ISCAS85-class circuits.
+pub fn bench_suite() -> Vec<Circuit> {
+    let mut v = vec![c17()];
+    v.extend(
+        SUITE_STATS
+            .iter()
+            .map(|&(n, pi, po, gates, seed)| {
+                generate(&GeneratorConfig::iscas_like(n, pi, po, gates, seed))
+            }),
+    );
+    v
+}
+
+/// Names of all suite members, in order.
+pub fn suite_names() -> Vec<&'static str> {
+    let mut v = vec!["c17"];
+    v.extend(SUITE_STATS.iter().map(|&(n, ..)| n));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_is_the_real_one() {
+        let c = c17();
+        assert_eq!(c.n_gates(), 6);
+        assert_eq!(c.inputs().len(), 5);
+        assert_eq!(c.outputs().len(), 2);
+        // Known response: inputs (1,2,3,6,7) = (0,1,0,1,1) →
+        // 10 = NAND(0,0)=1, 11 = NAND(0,1)=1, 16 = NAND(1,1)=0,
+        // 19 = NAND(1,1)=0, 22 = NAND(1,0)=1, 23 = NAND(0,0)=1.
+        assert_eq!(c.eval(&[false, true, false, true, true]), vec![true, true]);
+    }
+
+    #[test]
+    fn suite_members_match_published_gate_counts() {
+        let suite = bench_suite();
+        assert_eq!(suite.len(), 6);
+        let sizes: Vec<usize> = suite.iter().map(|c| c.n_gates()).collect();
+        assert_eq!(sizes, vec![6, 383, 546, 880, 1669, 3512]);
+    }
+
+    #[test]
+    fn synthetic_lookup() {
+        assert!(synthetic("c880s").is_some());
+        assert!(synthetic("c880").is_none());
+        let c = synthetic("c1355s").unwrap();
+        assert_eq!(c.name(), "c1355s");
+        assert_eq!(c.inputs().len(), 41);
+    }
+
+    #[test]
+    fn suite_names_align() {
+        let names = suite_names();
+        let suite = bench_suite();
+        for (n, c) in names.iter().zip(&suite) {
+            assert_eq!(*n, c.name());
+        }
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = bench_suite();
+        let b = bench_suite();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,70 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the transistor-level simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// The output waveform never crossed the requested voltage level in the
+    /// expected direction (e.g. a stimulus that cannot switch the gate).
+    NoCrossing {
+        /// Fraction of Vdd that was not crossed.
+        level: f64,
+    },
+    /// A circuit was built with an invalid topology.
+    BadCircuit {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A stimulus does not match the circuit (wrong pin count, conflicting
+    /// edges, non-switching stimulus where a switch is required, …).
+    BadStimulus {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The integrator produced a non-finite node voltage.
+    Diverged {
+        /// Simulation time at which the divergence was detected (ns).
+        at_ns: f64,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::NoCrossing { level } => {
+                write!(f, "output never crossed {:.0}% of vdd", level * 100.0)
+            }
+            SpiceError::BadCircuit { reason } => write!(f, "bad circuit: {reason}"),
+            SpiceError::BadStimulus { reason } => write!(f, "bad stimulus: {reason}"),
+            SpiceError::Diverged { at_ns } => {
+                write!(f, "transient diverged at t = {at_ns}ns")
+            }
+        }
+    }
+}
+
+impl Error for SpiceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(
+            SpiceError::NoCrossing { level: 0.5 }.to_string(),
+            "output never crossed 50% of vdd"
+        );
+        assert!(SpiceError::Diverged { at_ns: 1.5 }.to_string().contains("1.5ns"));
+        let e = SpiceError::BadStimulus { reason: "pin count".into() };
+        assert!(e.to_string().contains("pin count"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SpiceError>();
+    }
+}

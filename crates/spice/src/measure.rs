@@ -1,0 +1,420 @@
+//! High-level gate measurement: the API characterization and experiments
+//! drive.
+
+use ssdm_core::{Capacitance, Edge, Time, Transition};
+
+use crate::circuit::Circuit;
+use crate::error::SpiceError;
+use crate::gates::{build, GateKind};
+use crate::process::Process;
+use crate::transient::{Transient, TransientConfig};
+use crate::waveform::{InputWave, Trace};
+
+/// State of one gate input during a measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PinState {
+    /// Held constant at logic 0 or 1.
+    Steady(bool),
+    /// Applies a single saturating-ramp transition.
+    Switch(Transition),
+}
+
+impl PinState {
+    fn wave(&self) -> InputWave {
+        match *self {
+            PinState::Steady(level) => InputWave::Steady(level),
+            PinState::Switch(tr) => InputWave::Ramp(tr),
+        }
+    }
+
+    /// The transition carried, if switching.
+    pub fn transition(&self) -> Option<Transition> {
+        match *self {
+            PinState::Steady(_) => None,
+            PinState::Switch(tr) => Some(tr),
+        }
+    }
+}
+
+/// Result of a gate measurement.
+#[derive(Debug, Clone)]
+pub struct Measured {
+    /// Direction of the output response.
+    pub out_edge: Edge,
+    /// Output arrival time (50 % Vdd crossing).
+    pub arrival: Time,
+    /// Output 10 %–90 % transition time.
+    pub ttime: Time,
+    /// Gate delay per the paper's to-controlling convention: output
+    /// arrival minus the **earliest** switching-input arrival.
+    pub delay: Time,
+    /// The simulated output waveform.
+    pub trace: Trace,
+}
+
+/// A reusable measurement harness for one gate instance.
+///
+/// # Example
+///
+/// ```
+/// use ssdm_core::{Capacitance, Edge, Time, Transition};
+/// use ssdm_spice::{GateSim, PinState};
+///
+/// // Figure 1: simultaneous falling inputs switch a NAND faster than one.
+/// let sim = GateSim::nand(2);
+/// let t = |a: f64| Transition::new(Edge::Fall, Time::from_ns(a), Time::from_ns(0.4));
+/// let load = Capacitance::from_ff(12.0);
+/// let single = sim.measure(&[PinState::Switch(t(1.0)), PinState::Steady(true)], load)?;
+/// let both = sim.measure(&[PinState::Switch(t(1.0)), PinState::Switch(t(1.0))], load)?;
+/// assert!(both.delay < single.delay);
+/// # Ok::<(), ssdm_spice::SpiceError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GateSim {
+    kind: GateKind,
+    n: usize,
+    wn_um: f64,
+    wp_um: f64,
+    process: Process,
+    config: TransientConfig,
+    circuit: Circuit,
+}
+
+impl GateSim {
+    /// Default NMOS width (µm) for "minimum-size" gates.
+    pub const DEFAULT_WN_UM: f64 = 1.5;
+    /// Default PMOS width (µm) for "minimum-size" gates.
+    pub const DEFAULT_WP_UM: f64 = 3.0;
+
+    /// Creates a harness for an arbitrary gate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SpiceError::BadCircuit`] from the gate template.
+    pub fn new(
+        kind: GateKind,
+        n: usize,
+        wn_um: f64,
+        wp_um: f64,
+        process: Process,
+    ) -> Result<GateSim, SpiceError> {
+        let circuit = build(kind, n, wn_um, wp_um)?;
+        Ok(GateSim {
+            kind,
+            n,
+            wn_um,
+            wp_um,
+            process,
+            config: TransientConfig::default(),
+            circuit,
+        })
+    }
+
+    /// An `n`-input minimum-size NAND in the default process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn nand(n: usize) -> GateSim {
+        GateSim::new(GateKind::Nand, n, Self::DEFAULT_WN_UM, Self::DEFAULT_WP_UM, Process::p05um())
+            .expect("n >= 1 required")
+    }
+
+    /// An `n`-input minimum-size NOR in the default process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn nor(n: usize) -> GateSim {
+        GateSim::new(GateKind::Nor, n, Self::DEFAULT_WN_UM, Self::DEFAULT_WP_UM, Process::p05um())
+            .expect("n >= 1 required")
+    }
+
+    /// A minimum-size inverter in the default process.
+    pub fn inv() -> GateSim {
+        GateSim::new(GateKind::Inv, 1, Self::DEFAULT_WN_UM, Self::DEFAULT_WP_UM, Process::p05um())
+            .expect("inverter is always valid")
+    }
+
+    /// The gate kind.
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Number of inputs.
+    pub fn n_inputs(&self) -> usize {
+        self.n
+    }
+
+    /// The process in use.
+    pub fn process(&self) -> &Process {
+        &self.process
+    }
+
+    /// NMOS width (µm).
+    pub fn wn_um(&self) -> f64 {
+        self.wn_um
+    }
+
+    /// PMOS width (µm).
+    pub fn wp_um(&self) -> f64 {
+        self.wp_um
+    }
+
+    /// Overrides the transient configuration (step size, settle time).
+    pub fn with_config(mut self, config: TransientConfig) -> GateSim {
+        self.config = config;
+        self
+    }
+
+    /// Input capacitance this gate presents to a driver.
+    pub fn input_cap(&self) -> Capacitance {
+        Capacitance::from_ff(self.process.input_cap_ff(self.wn_um, self.wp_um))
+    }
+
+    /// The paper's standard load: one minimum-size inverter.
+    pub fn inverter_load(&self) -> Capacitance {
+        Capacitance::from_ff(
+            self.process
+                .input_cap_ff(Self::DEFAULT_WN_UM, Self::DEFAULT_WP_UM),
+        )
+    }
+
+    /// Simulates the gate under `pins` driving `load` and measures the
+    /// output response.
+    ///
+    /// # Errors
+    ///
+    /// * [`SpiceError::BadStimulus`] — wrong pin count, or a stimulus under
+    ///   which the output does not switch;
+    /// * [`SpiceError::NoCrossing`] — the output failed to complete the
+    ///   expected transition within the simulation window;
+    /// * [`SpiceError::Diverged`] — numerical failure.
+    pub fn measure(&self, pins: &[PinState], load: Capacitance) -> Result<Measured, SpiceError> {
+        if pins.len() != self.n {
+            return Err(SpiceError::BadStimulus {
+                reason: format!("{} pin states for a {}-input gate", pins.len(), self.n),
+            });
+        }
+        let initial: Vec<bool> = pins.iter().map(|p| p.wave().initial_level()).collect();
+        let final_: Vec<bool> = pins.iter().map(|p| p.wave().final_level()).collect();
+        let out0 = self.kind.eval(&initial);
+        let out1 = self.kind.eval(&final_);
+        if out0 == out1 {
+            return Err(SpiceError::BadStimulus {
+                reason: "output does not switch under this stimulus".into(),
+            });
+        }
+        let out_edge = if out1 { Edge::Rise } else { Edge::Fall };
+
+        let transitions: Vec<Transition> = pins.iter().filter_map(|p| p.transition()).collect();
+        debug_assert!(!transitions.is_empty(), "output switched without input transitions");
+        let earliest_start = transitions
+            .iter()
+            .map(|t| t.start())
+            .fold(Time::INFINITY, Time::min);
+        let latest_end = transitions
+            .iter()
+            .map(|t| t.end())
+            .fold(Time::NEG_INFINITY, Time::max);
+        let max_tt = transitions
+            .iter()
+            .map(|t| t.ttime)
+            .fold(Time::ZERO, Time::max);
+        let earliest_arrival = transitions
+            .iter()
+            .map(|t| t.arrival)
+            .fold(Time::INFINITY, Time::min);
+
+        let t0 = earliest_start - Time::from_ns(0.5);
+        let t1 = latest_end
+            + Time::from_ns(4.0)
+            + max_tt * 2.0
+            + Time::from_ns(0.03 * load.as_ff());
+
+        let waves: Vec<InputWave> = pins.iter().map(|p| p.wave()).collect();
+        let transient = Transient::new(&self.circuit, &self.process, waves, load.as_ff(), self.config)?;
+        let trace = transient.run(t0, t1)?;
+
+        let vdd = self.process.vdd.as_volts();
+        let arrival = trace.last_crossing(0.5 * vdd, out_edge)?;
+        let ttime = trace.transition_time(0.1 * vdd, 0.9 * vdd, out_edge)?;
+        Ok(Measured {
+            out_edge,
+            arrival,
+            ttime,
+            delay: arrival - earliest_arrival,
+            trace,
+        })
+    }
+
+    /// Pin-to-pin measurement: a single transition on `pin` with all other
+    /// inputs steady at the non-controlling value, per the paper's
+    /// definition of `d^Z_{X,tr}`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`GateSim::measure`], plus [`SpiceError::BadStimulus`] when
+    /// `pin` is out of range.
+    pub fn pin_to_pin(
+        &self,
+        pin: usize,
+        in_edge: Edge,
+        ttime: Time,
+        load: Capacitance,
+    ) -> Result<Measured, SpiceError> {
+        if pin >= self.n {
+            return Err(SpiceError::BadStimulus {
+                reason: format!("pin {pin} out of range for {}-input gate", self.n),
+            });
+        }
+        let noncontrolling = !self.kind.controlling_value();
+        let pins: Vec<PinState> = (0..self.n)
+            .map(|i| {
+                if i == pin {
+                    PinState::Switch(Transition::new(in_edge, Time::from_ns(1.0), ttime))
+                } else {
+                    PinState::Steady(noncontrolling)
+                }
+            })
+            .collect();
+        self.measure(&pins, load)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fall(arr: f64, tt: f64) -> PinState {
+        PinState::Switch(Transition::new(Edge::Fall, Time::from_ns(arr), Time::from_ns(tt)))
+    }
+
+    #[test]
+    fn nand2_single_fall_makes_output_rise() {
+        let sim = GateSim::nand(2);
+        let m = sim
+            .measure(&[fall(1.0, 0.5), PinState::Steady(true)], sim.inverter_load())
+            .unwrap();
+        assert_eq!(m.out_edge, Edge::Rise);
+        assert!(m.delay > Time::ZERO, "delay = {}", m.delay);
+        assert!(m.delay < Time::from_ns(1.0));
+        assert!(m.ttime > Time::ZERO);
+    }
+
+    #[test]
+    fn figure1_simultaneous_switching_is_faster() {
+        // The headline phenomenon: two simultaneous falling inputs charge
+        // the output through two parallel PMOS devices.
+        let sim = GateSim::nand(2);
+        let load = sim.inverter_load();
+        let single = sim
+            .measure(&[fall(1.0, 0.5), PinState::Steady(true)], load)
+            .unwrap();
+        let both = sim.measure(&[fall(1.0, 0.5), fall(1.0, 0.5)], load).unwrap();
+        assert!(
+            both.delay < single.delay * 0.8,
+            "simultaneous {} vs single {}",
+            both.delay,
+            single.delay
+        );
+    }
+
+    #[test]
+    fn large_skew_matches_pin_to_pin() {
+        let sim = GateSim::nand(2);
+        let load = sim.inverter_load();
+        let single = sim
+            .measure(&[fall(1.0, 0.5), PinState::Steady(true)], load)
+            .unwrap();
+        // Y lags by 3 ns: the output has long risen; delay (from earliest
+        // arrival, which is X) equals the pin-to-pin delay.
+        let skewed = sim.measure(&[fall(1.0, 0.5), fall(4.0, 0.5)], load).unwrap();
+        let diff = (skewed.delay - single.delay).abs();
+        assert!(diff < Time::from_ps(10.0), "diff = {diff}");
+    }
+
+    #[test]
+    fn position_far_from_output_is_slower() {
+        // Section 3.1.2: pin-to-pin delay from the rail end of a NAND5
+        // stack is substantially larger than from position 0.
+        let sim = GateSim::nand(5);
+        let load = sim.inverter_load();
+        let near = sim
+            .pin_to_pin(0, Edge::Fall, Time::from_ns(0.5), load)
+            .unwrap();
+        let far = sim
+            .pin_to_pin(4, Edge::Fall, Time::from_ns(0.5), load)
+            .unwrap();
+        assert!(
+            far.delay > near.delay * 1.15,
+            "far {} vs near {}",
+            far.delay,
+            near.delay
+        );
+    }
+
+    #[test]
+    fn nor_gate_mirror() {
+        let sim = GateSim::nor(2);
+        let load = sim.inverter_load();
+        let rise = PinState::Switch(Transition::new(
+            Edge::Rise,
+            Time::from_ns(1.0),
+            Time::from_ns(0.5),
+        ));
+        let m = sim.measure(&[rise, PinState::Steady(false)], load).unwrap();
+        assert_eq!(m.out_edge, Edge::Fall);
+        assert!(m.delay > Time::ZERO);
+    }
+
+    #[test]
+    fn rejects_non_switching_stimulus() {
+        let sim = GateSim::nand(2);
+        // X falls but Y is 0: output stays 1.
+        let r = sim.measure(&[fall(1.0, 0.5), PinState::Steady(false)], sim.inverter_load());
+        assert!(matches!(r, Err(SpiceError::BadStimulus { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_pin_count() {
+        let sim = GateSim::nand(2);
+        let r = sim.measure(&[fall(1.0, 0.5)], sim.inverter_load());
+        assert!(matches!(r, Err(SpiceError::BadStimulus { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_pin_index() {
+        let sim = GateSim::nand(2);
+        let r = sim.pin_to_pin(5, Edge::Fall, Time::from_ns(0.5), sim.inverter_load());
+        assert!(matches!(r, Err(SpiceError::BadStimulus { .. })));
+    }
+
+    #[test]
+    fn inverter_round_trip() {
+        let sim = GateSim::inv();
+        let m = sim
+            .measure(
+                &[PinState::Switch(Transition::new(
+                    Edge::Rise,
+                    Time::from_ns(1.0),
+                    Time::from_ns(0.3),
+                ))],
+                sim.inverter_load(),
+            )
+            .unwrap();
+        assert_eq!(m.out_edge, Edge::Fall);
+        assert!(m.delay > Time::ZERO && m.delay < Time::from_ns(0.5));
+    }
+
+    #[test]
+    fn input_caps() {
+        let sim = GateSim::nand(2);
+        assert!(sim.input_cap().as_ff() > 0.0);
+        assert_eq!(sim.input_cap(), sim.inverter_load());
+        assert_eq!(sim.n_inputs(), 2);
+        assert_eq!(sim.kind(), GateKind::Nand);
+        assert_eq!(sim.wn_um(), GateSim::DEFAULT_WN_UM);
+        assert_eq!(sim.wp_um(), GateSim::DEFAULT_WP_UM);
+    }
+}

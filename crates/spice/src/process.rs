@@ -1,0 +1,100 @@
+//! Technology parameters.
+
+use ssdm_core::Voltage;
+
+use crate::mosfet::MosParams;
+
+/// A CMOS technology: supply, device parameters and unit capacitances.
+///
+/// [`Process::p05um`] is the workspace default, a 0.5 µm-class process
+/// standing in for the paper's SPICE LEVEL 3 deck (Vdd = 3.3 V,
+/// |Vth| ≈ 0.75–0.8 V, α ≈ 1.3). All characterization and experiments use
+/// it unless stated otherwise.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Process {
+    /// Supply voltage.
+    pub vdd: Voltage,
+    /// NMOS parameters.
+    pub nmos: MosParams,
+    /// PMOS parameters.
+    pub pmos: MosParams,
+    /// Gate capacitance per micron of width (fF/µm), used for input loads.
+    pub cg_per_um: f64,
+    /// Source/drain junction capacitance per micron of width (fF/µm).
+    pub cj_per_um: f64,
+    /// Gate-to-diffusion overlap (Miller) capacitance per micron (fF/µm).
+    pub cgd_per_um: f64,
+    /// Minimum transistor width (µm); "minimum-size" gates use multiples.
+    pub min_width_um: f64,
+}
+
+impl Process {
+    /// The default 0.5 µm-class process.
+    pub fn p05um() -> Process {
+        Process {
+            vdd: Voltage::from_volts(3.3),
+            nmos: MosParams {
+                vth: 0.75,
+                alpha: 1.3,
+                pc: 118.0,
+                pv: 0.85,
+                lambda: 0.02,
+            },
+            pmos: MosParams {
+                vth: 0.80,
+                alpha: 1.35,
+                pc: 55.0,
+                pv: 0.95,
+                lambda: 0.03,
+            },
+            cg_per_um: 2.0,
+            cj_per_um: 1.6,
+            cgd_per_um: 0.35,
+            min_width_um: 1.0,
+        }
+    }
+
+    /// Measurement voltage at fraction `frac` of the supply (e.g. `0.5` for
+    /// arrival times, `0.1`/`0.9` for transition times).
+    pub fn level(&self, frac: f64) -> Voltage {
+        self.vdd.scale(frac)
+    }
+
+    /// Input (gate) capacitance in fF presented by a transistor pair of the
+    /// given NMOS and PMOS widths — how a fan-out gate loads its driver.
+    pub fn input_cap_ff(&self, wn_um: f64, wp_um: f64) -> f64 {
+        (wn_um + wp_um) * self.cg_per_um
+    }
+}
+
+impl Default for Process {
+    fn default() -> Process {
+        Process::p05um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_05um() {
+        let p = Process::default();
+        assert_eq!(p.vdd, Voltage::from_volts(3.3));
+        assert!(p.nmos.pc > p.pmos.pc, "nmos should be stronger per micron");
+    }
+
+    #[test]
+    fn levels() {
+        let p = Process::p05um();
+        assert!((p.level(0.5).as_volts() - 1.65).abs() < 1e-12);
+        assert!((p.level(0.9).as_volts() - 2.97).abs() < 1e-12);
+    }
+
+    #[test]
+    fn input_cap_scales_with_width() {
+        let p = Process::p05um();
+        assert_eq!(p.input_cap_ff(1.0, 2.0), 6.0);
+        assert_eq!(p.input_cap_ff(2.0, 4.0), 12.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Input stimuli and recorded waveforms.
+
+use ssdm_core::{Edge, Time, Transition, Voltage};
+
+use crate::error::SpiceError;
+
+/// An ideal input source: either a steady rail or a saturating ramp.
+///
+/// A ramp realizes a [`Transition`]: it sits at the initial rail, ramps
+/// linearly so that the 10 %–90 % portion takes exactly the transition
+/// time, and crosses 50 % Vdd at the arrival time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InputWave {
+    /// Constant at logic 0 (ground) or 1 (Vdd).
+    Steady(bool),
+    /// A single saturating-ramp transition.
+    Ramp(Transition),
+}
+
+impl InputWave {
+    /// Voltage at time `t` given the supply `vdd`.
+    pub fn voltage(&self, t: Time, vdd: Voltage) -> f64 {
+        match *self {
+            InputWave::Steady(false) => 0.0,
+            InputWave::Steady(true) => vdd.as_volts(),
+            InputWave::Ramp(tr) => {
+                let start = tr.start();
+                let end = tr.end();
+                let v = vdd.as_volts();
+                if t <= start {
+                    if tr.edge == Edge::Rise { 0.0 } else { v }
+                } else if t >= end {
+                    if tr.edge == Edge::Rise { v } else { 0.0 }
+                } else {
+                    let frac = (t - start) / (end - start);
+                    if tr.edge == Edge::Rise {
+                        v * frac
+                    } else {
+                        v * (1.0 - frac)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Time-derivative of the voltage at `t` (V/ns); non-zero only on the
+    /// active portion of a ramp. Used for Miller-coupling injection.
+    pub fn slope(&self, t: Time, vdd: Voltage) -> f64 {
+        match *self {
+            InputWave::Steady(_) => 0.0,
+            InputWave::Ramp(tr) => {
+                let start = tr.start();
+                let end = tr.end();
+                if t <= start || t >= end {
+                    0.0
+                } else {
+                    let rate = vdd.as_volts() / (end - start).as_ns();
+                    if tr.edge == Edge::Rise { rate } else { -rate }
+                }
+            }
+        }
+    }
+
+    /// Logic value before any transition.
+    pub fn initial_level(&self) -> bool {
+        match *self {
+            InputWave::Steady(level) => level,
+            InputWave::Ramp(tr) => tr.edge.from_value(),
+        }
+    }
+
+    /// Logic value after all transitions.
+    pub fn final_level(&self) -> bool {
+        match *self {
+            InputWave::Steady(level) => level,
+            InputWave::Ramp(tr) => tr.edge.to_value(),
+        }
+    }
+
+    /// The transition carried by this wave, if any.
+    pub fn transition(&self) -> Option<Transition> {
+        match *self {
+            InputWave::Steady(_) => None,
+            InputWave::Ramp(tr) => Some(tr),
+        }
+    }
+}
+
+/// A sampled node waveform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    times: Vec<f64>,
+    volts: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates an empty trace with reserved capacity.
+    pub fn with_capacity(n: usize) -> Trace {
+        Trace {
+            times: Vec::with_capacity(n),
+            volts: Vec::with_capacity(n),
+        }
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` does not strictly increase.
+    pub fn push(&mut self, t: Time, v: f64) {
+        if let Some(&last) = self.times.last() {
+            assert!(t.as_ns() > last, "trace samples must strictly increase in time");
+        }
+        self.times.push(t.as_ns());
+        self.volts.push(v);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Sample times in ns.
+    pub fn times_ns(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Sample voltages in V.
+    pub fn volts(&self) -> &[f64] {
+        &self.volts
+    }
+
+    /// Voltage at `t` by linear interpolation (clamped at the ends).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace.
+    pub fn voltage_at(&self, t: Time) -> f64 {
+        assert!(!self.is_empty(), "voltage_at on empty trace");
+        let tn = t.as_ns();
+        if tn <= self.times[0] {
+            return self.volts[0];
+        }
+        if tn >= *self.times.last().expect("non-empty") {
+            return *self.volts.last().expect("non-empty");
+        }
+        let hi = self.times.partition_point(|&x| x <= tn);
+        let lo = hi - 1;
+        let f = (tn - self.times[lo]) / (self.times[hi] - self.times[lo]);
+        self.volts[lo] + f * (self.volts[hi] - self.volts[lo])
+    }
+
+    /// The **last** time the waveform crosses `level` in direction `edge`
+    /// (rising: from below to at-or-above; falling: from above to
+    /// at-or-below), found by linear interpolation between samples.
+    ///
+    /// The last crossing is the correct one for delay measurement: glitches
+    /// and Miller bumps may produce early spurious crossings, but the final
+    /// crossing belongs to the settled response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NoCrossing`] if the level is never crossed in
+    /// that direction. The `level` in the error is reported as a fraction
+    /// of the trace's final voltage span only for diagnostics.
+    pub fn last_crossing(&self, level: f64, edge: Edge) -> Result<Time, SpiceError> {
+        let mut found: Option<f64> = None;
+        for i in 1..self.times.len() {
+            let (v0, v1) = (self.volts[i - 1], self.volts[i]);
+            let hit = match edge {
+                Edge::Rise => v0 < level && v1 >= level,
+                Edge::Fall => v0 > level && v1 <= level,
+            };
+            if hit {
+                let f = (level - v0) / (v1 - v0);
+                found = Some(self.times[i - 1] + f * (self.times[i] - self.times[i - 1]));
+            }
+        }
+        found.map(Time::from_ns).ok_or(SpiceError::NoCrossing { level })
+    }
+
+    /// 10 %–90 % transition time around the final swing of the waveform in
+    /// direction `edge`, given the two absolute levels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::NoCrossing`] if either level is not crossed.
+    pub fn transition_time(&self, lo_level: f64, hi_level: f64, edge: Edge) -> Result<Time, SpiceError> {
+        let (first, second) = match edge {
+            Edge::Rise => (lo_level, hi_level),
+            Edge::Fall => (hi_level, lo_level),
+        };
+        let t_end = self.last_crossing(second, edge)?;
+        // Find the matching earlier crossing of the first level before t_end.
+        let sub = self.before(t_end)?;
+        let t_start = sub.last_crossing(first, edge)?;
+        Ok(t_end - t_start)
+    }
+
+    /// The prefix of the trace up to and including time `t` (plus the
+    /// bracketing sample), used to pair transition-time crossings.
+    fn before(&self, t: Time) -> Result<Trace, SpiceError> {
+        let tn = t.as_ns();
+        let n = self.times.partition_point(|&x| x <= tn);
+        if n < 2 {
+            return Err(SpiceError::NoCrossing { level: f64::NAN });
+        }
+        Ok(Trace {
+            times: self.times[..n].to_vec(),
+            volts: self.volts[..n].to_vec(),
+        })
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Trace {
+        Trace::with_capacity(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdm_core::Transition;
+
+    fn ramp(edge: Edge, arr: f64, tt: f64) -> InputWave {
+        InputWave::Ramp(Transition::new(edge, Time::from_ns(arr), Time::from_ns(tt)))
+    }
+
+    const VDD: Voltage = Voltage::from_volts(3.3);
+
+    #[test]
+    fn steady_levels() {
+        assert_eq!(InputWave::Steady(true).voltage(Time::ZERO, VDD), 3.3);
+        assert_eq!(InputWave::Steady(false).voltage(Time::ZERO, VDD), 0.0);
+        assert_eq!(InputWave::Steady(true).slope(Time::ZERO, VDD), 0.0);
+        assert!(InputWave::Steady(true).initial_level());
+        assert!(InputWave::Steady(true).final_level());
+        assert!(InputWave::Steady(false).transition().is_none());
+    }
+
+    #[test]
+    fn rising_ramp_crosses_half_vdd_at_arrival() {
+        let w = ramp(Edge::Rise, 2.0, 0.8);
+        let v = w.voltage(Time::from_ns(2.0), VDD);
+        assert!((v - 1.65).abs() < 1e-9, "v = {v}");
+        assert_eq!(w.voltage(Time::ZERO, VDD), 0.0);
+        assert_eq!(w.voltage(Time::from_ns(10.0), VDD), 3.3);
+        assert!(!w.initial_level());
+        assert!(w.final_level());
+    }
+
+    #[test]
+    fn falling_ramp_crosses_half_vdd_at_arrival() {
+        let w = ramp(Edge::Fall, 1.0, 0.4);
+        let v = w.voltage(Time::from_ns(1.0), VDD);
+        assert!((v - 1.65).abs() < 1e-9);
+        assert_eq!(w.voltage(Time::ZERO, VDD), 3.3);
+        assert_eq!(w.voltage(Time::from_ns(5.0), VDD), 0.0);
+    }
+
+    #[test]
+    fn ramp_ten_ninety_duration_matches_ttime() {
+        let w = ramp(Edge::Rise, 2.0, 0.8);
+        // Find 10% and 90% crossings analytically by scanning.
+        let mut t10 = None;
+        let mut t90 = None;
+        let mut t = 0.0;
+        while t < 5.0 {
+            let v = w.voltage(Time::from_ns(t), VDD);
+            if t10.is_none() && v >= 0.33 {
+                t10 = Some(t);
+            }
+            if t90.is_none() && v >= 2.97 {
+                t90 = Some(t);
+            }
+            t += 1e-4;
+        }
+        let dur = t90.unwrap() - t10.unwrap();
+        assert!((dur - 0.8).abs() < 1e-2, "10-90 duration = {dur}");
+    }
+
+    #[test]
+    fn slope_sign_and_magnitude() {
+        let w = ramp(Edge::Rise, 2.0, 0.8);
+        // Full swing takes T/0.8 = 1ns, so slope = 3.3 V/ns on the ramp.
+        let s = w.slope(Time::from_ns(2.0), VDD);
+        assert!((s - 3.3).abs() < 1e-9);
+        let f = ramp(Edge::Fall, 2.0, 0.8);
+        assert!((f.slope(Time::from_ns(2.0), VDD) + 3.3).abs() < 1e-9);
+        assert_eq!(w.slope(Time::ZERO, VDD), 0.0);
+    }
+
+    fn ramp_trace(edge: Edge) -> Trace {
+        let w = ramp(edge, 2.0, 0.8);
+        let mut tr = Trace::default();
+        let mut t = 0.0;
+        while t < 4.0 {
+            tr.push(Time::from_ns(t), w.voltage(Time::from_ns(t), VDD));
+            t += 0.01;
+        }
+        tr
+    }
+
+    #[test]
+    fn trace_crossing_measurement() {
+        let tr = ramp_trace(Edge::Rise);
+        let t50 = tr.last_crossing(1.65, Edge::Rise).unwrap();
+        assert!((t50.as_ns() - 2.0).abs() < 0.01);
+        assert!(tr.last_crossing(1.65, Edge::Fall).is_err());
+        let tt = tr.transition_time(0.33, 2.97, Edge::Rise).unwrap();
+        assert!((tt.as_ns() - 0.8).abs() < 0.02, "tt = {tt}");
+    }
+
+    #[test]
+    fn trace_last_crossing_picks_final_one() {
+        // A glitchy waveform crossing 1.65 V three times, ending high.
+        let mut tr = Trace::default();
+        for (t, v) in [(0.0, 0.0), (1.0, 2.0), (2.0, 1.0), (3.0, 3.3)] {
+            tr.push(Time::from_ns(t), v);
+        }
+        let t = tr.last_crossing(1.65, Edge::Rise).unwrap();
+        assert!(t.as_ns() > 2.0 && t.as_ns() < 3.0);
+    }
+
+    #[test]
+    fn trace_voltage_interpolation() {
+        let mut tr = Trace::default();
+        tr.push(Time::ZERO, 0.0);
+        tr.push(Time::from_ns(1.0), 2.0);
+        assert_eq!(tr.voltage_at(Time::from_ns(0.5)), 1.0);
+        assert_eq!(tr.voltage_at(Time::from_ns(-1.0)), 0.0);
+        assert_eq!(tr.voltage_at(Time::from_ns(9.0)), 2.0);
+        assert_eq!(tr.len(), 2);
+        assert!(!tr.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn trace_rejects_non_increasing_time() {
+        let mut tr = Trace::default();
+        tr.push(Time::ZERO, 0.0);
+        tr.push(Time::ZERO, 1.0);
+    }
+
+    #[test]
+    fn falling_transition_time() {
+        let tr = ramp_trace(Edge::Fall);
+        let tt = tr.transition_time(0.33, 2.97, Edge::Fall).unwrap();
+        assert!((tt.as_ns() - 0.8).abs() < 0.02);
+    }
+}

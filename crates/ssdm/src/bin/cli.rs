@@ -1,0 +1,164 @@
+//! `ssdm-cli` — drive the workspace from the command line.
+//!
+//! ```text
+//! ssdm-cli sta <netlist.bench> [--pin-to-pin] [--full-lib]
+//!     Run static timing analysis on an ISCAS85-format netlist and print
+//!     the endpoint report, the critical path and the min/max delays.
+//!
+//! ssdm-cli gen <name>
+//!     Emit a suite circuit (c17, c880s, c1355s, c1908s, c3540s, c7552s)
+//!     as .bench text on stdout.
+//!
+//! ssdm-cli atpg <netlist.bench> <n_faults> [--no-itr]
+//!     Run a crosstalk-delay-fault ATPG campaign and print the statistics.
+//!
+//! ssdm-cli characterize [--full-lib]
+//!     Build (or refresh) the cached cell library and print its summary.
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ssdm::atpg::{Atpg, AtpgConfig, FaultOutcome};
+use ssdm::cells::{CellLibrary, CharConfig};
+use ssdm::netlist::{coupling_sites, parse_bench, suite, Circuit};
+use ssdm::sta::{timing_report, ModelKind, Sta, StaConfig};
+
+fn cache_path(full: bool) -> PathBuf {
+    PathBuf::from("target/ssdm-cache").join(if full {
+        "library-full.txt"
+    } else {
+        "library-fast.txt"
+    })
+}
+
+fn load_library(full: bool) -> Result<CellLibrary, Box<dyn std::error::Error>> {
+    let config = if full { CharConfig::full() } else { CharConfig::fast() };
+    Ok(CellLibrary::load_or_characterize_standard(&cache_path(full), &config)?)
+}
+
+fn load_circuit(path: &str) -> Result<Circuit, Box<dyn std::error::Error>> {
+    if let Some(c) = (path == "c17").then(suite::c17).or_else(|| suite::synthetic(path)) {
+        return Ok(c);
+    }
+    let text = std::fs::read_to_string(path)?;
+    let name = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("netlist");
+    Ok(parse_bench(name, &text)?)
+}
+
+fn cmd_sta(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("usage: ssdm-cli sta <netlist.bench>")?;
+    let pin_to_pin = args.iter().any(|a| a == "--pin-to-pin");
+    let full = args.iter().any(|a| a == "--full-lib");
+    let circuit = load_circuit(path)?;
+    let lib = load_library(full)?;
+    let model = if pin_to_pin { ModelKind::PinToPin } else { ModelKind::Proposed };
+    let result = Sta::new(&circuit, &lib, StaConfig::default().with_model(model)).run()?;
+    print!("{}", timing_report(&circuit, &result));
+    println!();
+    println!(
+        "model: {:?}   min delay: {:.4}   max delay: {:.4}",
+        model,
+        result.endpoint_min_delay(&circuit),
+        result.endpoint_max_delay(&circuit)
+    );
+    Ok(())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let name = args.first().ok_or("usage: ssdm-cli gen <suite-name>")?;
+    let circuit = if name == "c17" {
+        suite::c17()
+    } else {
+        suite::synthetic(name).ok_or_else(|| {
+            format!("unknown suite member {name:?}; try: {}", suite::suite_names().join(", "))
+        })?
+    };
+    print!("{}", ssdm::netlist::write_bench(&circuit));
+    Ok(())
+}
+
+fn cmd_atpg(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("usage: ssdm-cli atpg <netlist.bench> <n_faults>")?;
+    let n_faults: usize = args
+        .get(1)
+        .ok_or("missing fault count")?
+        .parse()
+        .map_err(|_| "fault count must be an integer")?;
+    let use_itr = !args.iter().any(|a| a == "--no-itr");
+    let circuit = load_circuit(path)?;
+    let lib = load_library(false)?;
+    // Clock just above the circuit's max delay.
+    let sta = Sta::new(&circuit, &lib, StaConfig::default()).run()?;
+    let clock = sta.endpoint_max_delay(&circuit) * 1.02;
+    let sites = coupling_sites(&circuit, n_faults, 42);
+    let atpg = Atpg::new(
+        &circuit,
+        &lib,
+        AtpgConfig { use_itr, ..AtpgConfig::default() }.with_clock(clock),
+    );
+    let mut detected = 0;
+    let mut undetectable = 0;
+    let mut aborted = 0;
+    for &site in &sites {
+        match atpg.run_site(site)? {
+            FaultOutcome::Detected(_) => detected += 1,
+            FaultOutcome::Undetectable => undetectable += 1,
+            FaultOutcome::Aborted => aborted += 1,
+        }
+    }
+    let eff = (detected + undetectable) as f64 / sites.len().max(1) as f64;
+    println!(
+        "{}: {} faults, ITR {}: detected {detected}, undetectable {undetectable}, aborted {aborted} → efficiency {:.1}%",
+        circuit.name(),
+        sites.len(),
+        if use_itr { "on" } else { "off" },
+        eff * 100.0
+    );
+    Ok(())
+}
+
+fn cmd_characterize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let full = args.iter().any(|a| a == "--full-lib");
+    let lib = load_library(full)?;
+    println!(
+        "library {:?} ({} cells): {}",
+        cache_path(full),
+        lib.len(),
+        lib.names().collect::<Vec<_>>().join(", ")
+    );
+    for cell in lib.iter() {
+        println!(
+            "  {:<6} {} inputs, {} simultaneous pairs, input cap {}",
+            cell.name(),
+            cell.n_inputs(),
+            cell.pairs().len(),
+            cell.input_cap()
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.split_first() {
+        Some((cmd, rest)) => match cmd.as_str() {
+            "sta" => cmd_sta(rest),
+            "gen" => cmd_gen(rest),
+            "atpg" => cmd_atpg(rest),
+            "characterize" => cmd_characterize(rest),
+            other => Err(format!("unknown command {other:?}").into()),
+        },
+        None => Err("usage: ssdm-cli <sta|gen|atpg|characterize> …  (see crate docs)".into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("ssdm-cli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! SSDM — a reproduction of *"A New Gate Delay Model for Simultaneous
+//! Switching and Its Applications"* (Chen, Gupta, Breuer, DAC 2001) as a
+//! Rust workspace.
+//!
+//! This facade crate re-exports every subsystem under one roof:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`timing`] | `ssdm-core` | time/voltage/capacitance units, windows, V-shapes |
+//! | [`spice`] | `ssdm-spice` | the transistor-level reference simulator |
+//! | [`cells`] | `ssdm-cells` | characterization, curve fitting, cell libraries |
+//! | [`models`] | `ssdm-models` | proposed / pin-to-pin / Jun / Nabavi delay models |
+//! | [`netlist`] | `ssdm-netlist` | circuits, ISCAS85 parsing, benchmark suite |
+//! | [`logic`] | `ssdm-logic` | nine-value two-frame logic + implication |
+//! | [`sta`] | `ssdm-sta` | static timing analysis with corner identification |
+//! | [`itr`] | `ssdm-itr` | incremental timing refinement |
+//! | [`atpg`] | `ssdm-atpg` | crosstalk-delay-fault test generation |
+//! | [`tsim`] | `ssdm-tsim` | event-driven two-frame timing simulation |
+//!
+//! The runnable entry points live in `examples/` (see the repository
+//! README) and the per-figure experiment binaries in the `ssdm-bench`
+//! crate.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use ssdm::cells::{CellLibrary, CharConfig};
+//! use ssdm::netlist::suite;
+//! use ssdm::sta::{ModelKind, Sta, StaConfig};
+//!
+//! let lib = CellLibrary::characterize_standard(&CharConfig::fast())?;
+//! let c17 = suite::c17();
+//! let windows = Sta::new(&c17, &lib, StaConfig::default()).run()?;
+//! println!(
+//!     "c17 delay range: [{}, {}]",
+//!     windows.endpoint_min_delay(&c17),
+//!     windows.endpoint_max_delay(&c17),
+//! );
+//! let _ = ModelKind::PinToPin; // the Table 2 baseline
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use ssdm_atpg as atpg;
+pub use ssdm_cells as cells;
+pub use ssdm_core as timing;
+pub use ssdm_itr as itr;
+pub use ssdm_logic as logic;
+pub use ssdm_models as models;
+pub use ssdm_netlist as netlist;
+pub use ssdm_spice as spice;
+pub use ssdm_sta as sta;
+pub use ssdm_tsim as tsim;

@@ -1,0 +1,187 @@
+//! Backward required-time propagation and delay-error detection
+//! (Figure 6, backward half).
+
+use ssdm_core::{Bound, Edge, Time};
+use ssdm_netlist::{Circuit, GateType, NetId};
+
+use crate::engine::TimingView;
+
+/// A required-time range `[s, l]`: the signal must not arrive before `s`
+/// (hold side) nor after `l` (setup side). Unlike [`Bound`], `s > l` is
+/// representable — it means the constraints are infeasible at this line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Required {
+    /// Earliest allowed arrival.
+    pub s: Time,
+    /// Latest allowed arrival.
+    pub l: Time,
+}
+
+impl Required {
+    /// An unconstrained requirement.
+    pub fn unconstrained() -> Required {
+        Required {
+            s: Time::NEG_INFINITY,
+            l: Time::INFINITY,
+        }
+    }
+
+    /// True when no arrival time can satisfy the requirement.
+    pub fn infeasible(&self) -> bool {
+        self.s > self.l
+    }
+}
+
+/// Computes required-time ranges for both edges of every line, given the
+/// common requirement applied at every primary output
+/// (`po_required[edge.index()]`).
+///
+/// Setup side: a line must arrive early enough that the *slowest* path to
+/// any output still meets its deadline (`min` over fan-outs of
+/// `Q_L − d_max`). Hold side: late enough that the *fastest* path cannot
+/// violate the output's earliest-allowed time (`max` over fan-outs of
+/// `Q_S − d_min`) — where `d_min` comes from the forward pass and hence
+/// includes the simultaneous-switching speed-up under the proposed model.
+pub fn required_times<V: TimingView + ?Sized>(
+    circuit: &Circuit,
+    result: &V,
+    po_required: [Bound; 2],
+) -> Vec<[Required; 2]> {
+    let n = circuit.n_nets();
+    let mut q = vec![[Required::unconstrained(); 2]; n];
+    // Seed primary outputs. A PO that also feeds logic merges both
+    // constraints below.
+    for &po in circuit.outputs() {
+        for e in Edge::BOTH {
+            let b = po_required[e.index()];
+            q[po.index()][e.index()] = Required { s: b.s(), l: b.l() };
+        }
+    }
+    for id in circuit.topo_rev() {
+        let gate = circuit.gate(id);
+        if gate.gtype == GateType::Input {
+            continue;
+        }
+        let inv = result.gate_inverting(id);
+        for (pin, &f) in gate.fanin.iter().enumerate() {
+            for in_edge in Edge::BOTH {
+                let Some(d) = result.delay_used(id, pin, in_edge) else {
+                    continue;
+                };
+                let out_edge = in_edge.through(inv);
+                let qo = q[id.index()][out_edge.index()];
+                let slot = &mut q[f.index()][in_edge.index()];
+                slot.l = slot.l.min(qo.l - d.l());
+                slot.s = slot.s.max(qo.s - d.s());
+            }
+        }
+    }
+    q
+}
+
+/// The paper's delay-error criterion: the arrival range and the required
+/// range do not overlap (or the requirement is infeasible).
+pub fn violates(arrival: Bound, required: Required) -> bool {
+    required.infeasible() || arrival.l() < required.s || arrival.s() > required.l
+}
+
+/// Scans every line for a delay error under the given PO requirement;
+/// returns the offending `(net, edge)` pairs.
+pub fn find_violations<V: TimingView + ?Sized>(
+    circuit: &Circuit,
+    result: &V,
+    po_required: [Bound; 2],
+) -> Vec<(NetId, Edge)> {
+    let q = required_times(circuit, result, po_required);
+    let mut out = Vec::new();
+    for id in circuit.topo() {
+        for e in Edge::BOTH {
+            if let Some(et) = result.line(id).edge(e) {
+                if violates(et.arrival, q[id.index()][e.index()]) {
+                    out.push((id, e));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Sta, StaConfig};
+    use ssdm_netlist::suite;
+
+    use crate::testlib::library;
+
+    fn ns(x: f64) -> Time {
+        Time::from_ns(x)
+    }
+
+    #[test]
+    fn required_times_tighten_toward_inputs() {
+        let c = suite::c17();
+        let r = Sta::new(&c, library(), StaConfig::default()).run().unwrap();
+        let po_req = [Bound::new(ns(0.0), ns(5.0)).unwrap(); 2];
+        let q = required_times(&c, &r, po_req);
+        // A primary input feeding two levels of logic must arrive earlier
+        // than the PO deadline.
+        let pi = c.find("3").unwrap();
+        for e in Edge::BOTH {
+            let qi = q[pi.index()][e.index()];
+            // Setup: the input deadline precedes the PO deadline by at
+            // least one gate's max delay. Hold: the input may even arrive
+            // before t = 0 and still not reach a PO before its earliest
+            // allowed time, so the bound moves *earlier* (negative).
+            assert!(qi.l < ns(5.0), "input setup requirement {}", qi.l.as_ns());
+            assert!(qi.s < ns(0.0), "input hold requirement {}", qi.s.as_ns());
+            assert!(qi.s > ns(-5.0));
+            assert!(!qi.infeasible());
+        }
+    }
+
+    #[test]
+    fn generous_requirements_have_no_violations() {
+        let c = suite::c17();
+        let r = Sta::new(&c, library(), StaConfig::default()).run().unwrap();
+        let po_req = [Bound::new(ns(-10.0), ns(50.0)).unwrap(); 2];
+        assert!(find_violations(&c, &r, po_req).is_empty());
+    }
+
+    #[test]
+    fn impossible_setup_is_flagged() {
+        let c = suite::c17();
+        let r = Sta::new(&c, library(), StaConfig::default()).run().unwrap();
+        // Outputs must settle by 1 ps: everything violates.
+        let po_req = [Bound::new(ns(-10.0), ns(0.001)).unwrap(); 2];
+        let v = find_violations(&c, &r, po_req);
+        assert!(!v.is_empty());
+        // The outputs themselves are among the violators.
+        let o22 = c.find("22").unwrap();
+        assert!(v.iter().any(|&(net, _)| net == o22));
+    }
+
+    #[test]
+    fn hold_violations_are_detected_by_min_delay() {
+        let c = suite::c17();
+        let r = Sta::new(&c, library(), StaConfig::default()).run().unwrap();
+        let min_d = r.endpoint_min_delay(&c);
+        // Require outputs to be stable no earlier than just above the true
+        // minimum: the fastest PO edge violates hold.
+        let po_req = [Bound::new(min_d + ns(0.05), ns(50.0)).unwrap(); 2];
+        let v = find_violations(&c, &r, po_req);
+        assert!(!v.is_empty(), "expected a hold violation");
+    }
+
+    #[test]
+    fn violation_predicate() {
+        let a = Bound::new(ns(1.0), ns(2.0)).unwrap();
+        assert!(!violates(a, Required { s: ns(0.0), l: ns(3.0) }));
+        assert!(!violates(a, Required { s: ns(1.5), l: ns(1.6) }));
+        assert!(violates(a, Required { s: ns(2.5), l: ns(3.0) }));
+        assert!(violates(a, Required { s: ns(0.0), l: ns(0.5) }));
+        assert!(violates(a, Required { s: ns(3.0), l: ns(0.0) }));
+        assert!(Required { s: ns(3.0), l: ns(0.0) }.infeasible());
+        assert!(!Required::unconstrained().infeasible());
+    }
+}

@@ -1,0 +1,73 @@
+//! Static timing analysis on the simultaneous-switching delay model
+//! (Section 4 of the paper).
+//!
+//! STA propagates min-max **timing windows** — arrival and transition
+//! times for rising and falling transitions — forward from primary inputs
+//! (and required times backward from primary outputs) without considering
+//! any specific vector. The key machinery:
+//!
+//! * [`window`] — the eight-field per-line timing record of Figure 7, plus
+//!   participation states that make ITR a refinement of STA,
+//! * [`propagate`] — the Section 4.2 window calculation with worst-case
+//!   corner identification: bi-tonic delay peaks (`T*`, Figure 9),
+//!   `SK_{t,min}` transition-time optima and simultaneous-switching
+//!   minima,
+//! * [`stage`] — mapping netlist gates onto characterized cells (AND/OR
+//!   decompose into NAND/NOR + INV),
+//! * [`engine`] — the full-circuit forward pass,
+//! * [`backward`] — required times and the delay-error check,
+//! * [`report`] — endpoint summaries and critical-path extraction.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ssdm_cells::{CellLibrary, CharConfig};
+//! use ssdm_netlist::suite;
+//! use ssdm_sta::{ModelKind, Sta, StaConfig};
+//!
+//! let lib = CellLibrary::characterize_standard(&CharConfig::fast())?;
+//! let c17 = suite::c17();
+//! let proposed = Sta::new(&c17, &lib, StaConfig::default()).run()?;
+//! let baseline = Sta::new(
+//!     &c17,
+//!     &lib,
+//!     StaConfig::default().with_model(ModelKind::PinToPin),
+//! )
+//! .run()?;
+//! // Table 2: pin-to-pin overestimates the minimum delay.
+//! assert!(proposed.endpoint_min_delay(&c17) <= baseline.endpoint_min_delay(&c17));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backward;
+pub mod engine;
+pub mod error;
+pub mod propagate;
+pub mod report;
+pub mod stage;
+pub mod window;
+
+pub use backward::{find_violations, required_times, violates, Required};
+
+#[cfg(test)]
+pub(crate) mod testlib {
+    //! Shared, once-per-binary characterized library for tests.
+    use ssdm_cells::{CellLibrary, CharConfig};
+    use std::sync::OnceLock;
+
+    pub fn library() -> &'static CellLibrary {
+        static LIB: OnceLock<CellLibrary> = OnceLock::new();
+        LIB.get_or_init(|| {
+            CellLibrary::characterize_standard(&CharConfig::fast()).expect("characterization")
+        })
+    }
+}
+pub use engine::{Sta, StaConfig, StaResult, TimingView};
+pub use error::StaError;
+pub use propagate::{stage_windows, DelaysUsed, ModelKind};
+pub use report::{critical_path, slowest_endpoint, timing_report, PathStep};
+pub use stage::{stage_plan, StagePlan};
+pub use window::{EdgeTiming, LineTiming, Participation, PinWindow};

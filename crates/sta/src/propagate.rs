@@ -1,0 +1,544 @@
+//! Window propagation through one library cell — the Section 4.2
+//! calculation with worst-case corner identification, generalized with
+//! participation states so that ITR (Section 5.2) is the refined case and
+//! plain STA the all-`May` case.
+
+use ssdm_cells::CharacterizedGate;
+use ssdm_core::{Bound, Capacitance, Edge, Time};
+
+use crate::error::StaError;
+use crate::window::{EdgeTiming, LineTiming, Participation, PinWindow};
+
+/// Which delay model drives the propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    /// The paper's model: pin-to-pin quadratics plus simultaneous
+    /// to-controlling V-shapes.
+    Proposed,
+    /// The paper's model plus its Section 3.6 **extension**: the
+    /// Miller-effect slowdown of simultaneous to-non-controlling
+    /// transitions (announced as in-development in the paper; opt-in here
+    /// because it raises max delays, which the paper's Table 2 did not).
+    ProposedMiller,
+    /// SDF-style pin-to-pin only (the Table 2 baseline).
+    PinToPin,
+}
+
+impl ModelKind {
+    /// True when simultaneous to-controlling V-shapes apply.
+    pub fn vshape(self) -> bool {
+        matches!(self, ModelKind::Proposed | ModelKind::ProposedMiller)
+    }
+
+    /// True when the to-non-controlling Miller extension applies.
+    pub fn miller(self) -> bool {
+        self == ModelKind::ProposedMiller
+    }
+}
+
+/// The delay window (min, max) each input pin contributed to each of its
+/// input edges, recorded for the backward (required-time) pass. Indexed
+/// `used[pin][in_edge.index()]`.
+pub type DelaysUsed = Vec<[Option<Bound>; 2]>;
+
+/// Propagates input windows through one cell stage.
+///
+/// Returns the output [`LineTiming`] and the per-pin delay windows used.
+/// An output edge is `None` when no participating input can trigger it.
+///
+/// # Errors
+///
+/// Propagates characterized-cell query failures.
+///
+/// # Panics
+///
+/// Panics if `pins.len()` differs from the cell's input count.
+pub fn stage_windows(
+    cell: &CharacterizedGate,
+    model: ModelKind,
+    pins: &[PinWindow],
+    load: Capacitance,
+) -> Result<(LineTiming, DelaysUsed), StaError> {
+    assert_eq!(
+        pins.len(),
+        cell.n_inputs(),
+        "pin count mismatch for {}",
+        cell.name()
+    );
+    let mut out = LineTiming::default();
+    let mut used: DelaysUsed = vec![[None, None]; pins.len()];
+    for out_edge in Edge::BOTH {
+        let in_edge = out_edge.inverted();
+        let (timing, stage_used) = edge_windows(cell, model, pins, load, out_edge, in_edge)?;
+        out.set_edge(out_edge, timing);
+        for (pin, b) in stage_used.into_iter().enumerate() {
+            used[pin][in_edge.index()] = b;
+        }
+    }
+    Ok((out, used))
+}
+
+/// One active input, with its pre-computed pin-delay corners.
+struct Active {
+    pin: usize,
+    arrival: Bound,
+    ttime: Bound,
+    must: bool,
+    /// Delay at the minimizing transition-time corner.
+    dmin: Time,
+    /// Delay at the maximizing corner (peak-aware, Figure 9).
+    dmax: Time,
+    ttmin: Time,
+    ttmax: Time,
+}
+
+#[allow(clippy::type_complexity)]
+fn edge_windows(
+    cell: &CharacterizedGate,
+    model: ModelKind,
+    pins: &[PinWindow],
+    load: Capacitance,
+    out_edge: Edge,
+    in_edge: Edge,
+) -> Result<(Option<EdgeTiming>, Vec<Option<Bound>>), StaError> {
+    let mut active: Vec<Active> = Vec::with_capacity(pins.len());
+    for (pin, pw) in pins.iter().enumerate() {
+        if !pw.part(in_edge).possible() {
+            continue;
+        }
+        let Some(et) = pw.timing.edge(in_edge) else {
+            continue;
+        };
+        let (t_lo, t_hi) = clamp_range(cell, et.ttime);
+        let fit = cell.pin(out_edge, pin)?;
+        // Figure 9: the delay-maximizing transition time may be the peak of
+        // a concave fit, either endpoint otherwise.
+        let t_for_max = fit.delay.argmax_over(t_lo, t_hi);
+        let t_for_min = fit.delay.argmin_over(t_lo, t_hi);
+        let dmax = cell.pin_delay(out_edge, pin, t_for_max, load)?;
+        let dmin = cell.pin_delay(out_edge, pin, t_for_min, load)?;
+        let tt_for_max = fit.ttime.argmax_over(t_lo, t_hi);
+        let tt_for_min = fit.ttime.argmin_over(t_lo, t_hi);
+        active.push(Active {
+            pin,
+            arrival: et.arrival,
+            ttime: et.ttime,
+            must: pw.part(in_edge) == Participation::Must,
+            dmin,
+            dmax,
+            ttmin: cell.pin_ttime(out_edge, pin, tt_for_min, load)?,
+            ttmax: cell.pin_ttime(out_edge, pin, tt_for_max, load)?,
+        });
+    }
+    if active.is_empty() {
+        return Ok((None, vec![None; pins.len()]));
+    }
+    let ctrl = cell.n_inputs() >= 2 && out_edge == cell.ctrl_out_edge();
+    let any_must = active.iter().any(|a| a.must);
+
+    // --- Arrival window -------------------------------------------------
+    let (a_s, a_l, min_used) = if ctrl {
+        // To-controlling: the earliest participating transition triggers
+        // the output.
+        let a_l = if any_must {
+            // A definite transition caps the latest arrival; additional
+            // definite transitions compose V-shape speed-ups even on the
+            // late corner (this is what collapses windows toward points
+            // when vectors are fully specified, Section 5).
+            let mut best = Time::INFINITY;
+            for trig in active.iter().filter(|a| a.must) {
+                let d = if model.vshape() {
+                    composed_max(cell, load, trig, &active)?
+                } else {
+                    trig.dmax
+                };
+                best = best.min(trig.arrival.l() + d);
+            }
+            best
+        } else {
+            // Any single input might be the only one switching.
+            active
+                .iter()
+                .map(|a| a.arrival.l() + a.dmax)
+                .fold(Time::NEG_INFINITY, Time::max)
+        };
+        let mut a_s = Time::INFINITY;
+        let mut min_used: Vec<Time> = active.iter().map(|a| a.dmin).collect();
+        for (idx, trig) in active.iter().enumerate() {
+            let d = if model.vshape() {
+                composed_min(cell, load, trig, &active)?
+            } else {
+                trig.dmin
+            };
+            min_used[idx] = min_used[idx].min(d);
+            a_s = a_s.min(trig.arrival.s() + d);
+        }
+        (a_s, a_l, min_used)
+    } else {
+        // To-non-controlling (or single-input): the output waits for the
+        // last needed transition; every `Must` input must complete. Under
+        // the proposed model, near-simultaneous companions additionally
+        // slow the release (Miller effect, Section 3.6 extension).
+        let mut a_l = Time::NEG_INFINITY;
+        for trig in &active {
+            let mut d = trig.dmax;
+            if model.miller() && cell.n_inputs() >= 2 {
+                for other in &active {
+                    if other.pin == trig.pin {
+                        continue;
+                    }
+                    let Ok(v) = cell.vshape_nonctrl_delay(
+                        trig.pin,
+                        other.pin,
+                        cell.clamp_t(trig.ttime.l()),
+                        cell.clamp_t(other.ttime.l()),
+                        load,
+                    ) else {
+                        continue;
+                    };
+                    let skews = other.arrival.sub(trig.arrival);
+                    let bump = (v.max_over(skews) - v.left_knee().1).max(Time::ZERO);
+                    d = d + bump;
+                }
+            }
+            a_l = a_l.max(trig.arrival.l() + d);
+        }
+        let single_min = active
+            .iter()
+            .map(|a| a.arrival.s() + a.dmin)
+            .fold(Time::INFINITY, Time::min);
+        let must_min = active
+            .iter()
+            .filter(|a| a.must)
+            .map(|a| a.arrival.s() + a.dmin)
+            .fold(Time::NEG_INFINITY, Time::max);
+        let a_s = if any_must { single_min.max(must_min) } else { single_min };
+        let min_used = active.iter().map(|a| a.dmin).collect();
+        (a_s, a_l, min_used)
+    };
+
+    // --- Transition-time window ------------------------------------------
+    let mut tt_l = active
+        .iter()
+        .map(|a| a.ttmax)
+        .fold(Time::NEG_INFINITY, Time::max);
+    if !ctrl && model.miller() && cell.n_inputs() >= 2 {
+        // Simultaneous to-non-controlling transitions blunt the output
+        // edge: the Λ peak transition time can exceed any single switch.
+        for (ii, i) in active.iter().enumerate() {
+            for j in active.iter().skip(ii + 1) {
+                let (ti, tj) = (cell.clamp_t(i.ttime.l()), cell.clamp_t(j.ttime.l()));
+                let (Ok(v), Ok(tpk)) = (
+                    cell.vshape_nonctrl_delay(i.pin, j.pin, ti, tj, load),
+                    cell.nonctrl_ttime_peak(i.pin, j.pin, ti, tj),
+                ) else {
+                    continue;
+                };
+                if j.arrival.sub(i.arrival).overlaps(v.simultaneous_window()) {
+                    tt_l = tt_l.max(tpk);
+                }
+            }
+        }
+    }
+    let mut tt_s = active
+        .iter()
+        .map(|a| a.ttmin)
+        .fold(Time::INFINITY, Time::min);
+    if ctrl && model.vshape() {
+        // Simultaneous switching can sharpen the output edge below any
+        // single-switch transition time; the minimum may sit at a non-zero
+        // skew SK_{t,min} (Section 4.2).
+        for (ii, i) in active.iter().enumerate() {
+            for j in active.iter().skip(ii + 1) {
+                let skews = j.arrival.sub(i.arrival);
+                let v = cell.vshape_ttime(
+                    i.pin,
+                    j.pin,
+                    cell.clamp_t(i.ttime.s()),
+                    cell.clamp_t(j.ttime.s()),
+                    load,
+                )?;
+                tt_s = tt_s.min(v.min_over(skews));
+            }
+        }
+    }
+
+    // Guard against fit noise producing inverted bounds.
+    let arrival = Bound::hull(a_s, a_l);
+    let ttime = Bound::hull(tt_s, tt_l);
+    let mut used = vec![None; pins.len()];
+    for (idx, a) in active.iter().enumerate() {
+        used[a.pin] = Some(Bound::hull(min_used[idx], a.dmax));
+    }
+    Ok((Some(EdgeTiming { arrival, ttime }), used))
+}
+
+/// The smallest delay achievable when `trig` is the earliest switching
+/// input: its pin-to-pin minimum, scaled down by each other input's best
+/// pairwise V-shape ratio over the achievable skews, floored by the
+/// characterized k-way zero-skew delay (Section 3.6 extension).
+fn composed_min(
+    cell: &CharacterizedGate,
+    load: Capacitance,
+    trig: &Active,
+    active: &[Active],
+) -> Result<Time, StaError> {
+    let mut d = trig.dmin;
+    let mut k_sim = 1usize;
+    let mut t_small_sum = cell.clamp_t(trig.ttime.s());
+    for other in active {
+        if other.pin == trig.pin {
+            continue;
+        }
+        // Achievable skews δ = A_other − A_trig.
+        let skews = other.arrival.sub(trig.arrival);
+        let mut best_ratio = 1.0f64;
+        let mut in_window = false;
+        for ti in [trig.ttime.s(), trig.ttime.l()] {
+            for tj in [other.ttime.s(), other.ttime.l()] {
+                let v = cell.vshape_delay(
+                    trig.pin,
+                    other.pin,
+                    cell.clamp_t(ti),
+                    cell.clamp_t(tj),
+                    load,
+                )?;
+                let knee = v.right_knee().1;
+                if knee > Time::ZERO {
+                    let r = (v.min_over(skews) / knee).min(1.0).max(0.0);
+                    best_ratio = best_ratio.min(r);
+                }
+                if skews.overlaps(v.simultaneous_window()) {
+                    in_window = true;
+                }
+            }
+        }
+        d = d * best_ratio;
+        if in_window {
+            k_sim += 1;
+            t_small_sum = t_small_sum + cell.clamp_t(other.ttime.s());
+        }
+    }
+    if k_sim >= 2 {
+        if let Ok(floor) = cell.kway_floor(k_sim, t_small_sum / k_sim as f64) {
+            d = d.max(floor);
+        }
+    }
+    Ok(d)
+}
+
+/// The largest delay achievable when `trig` (a `Must` input) may be the
+/// latest trigger: its pin-to-pin maximum, scaled by each other `Must`
+/// input's *worst-case* (largest) pairwise V-shape ratio over the
+/// achievable skews — a definite companion transition reduces the delay by
+/// at least that much.
+fn composed_max(
+    cell: &CharacterizedGate,
+    load: Capacitance,
+    trig: &Active,
+    active: &[Active],
+) -> Result<Time, StaError> {
+    let mut d = trig.dmax;
+    let mut k_sim = 1usize;
+    let mut t_large_sum = cell.clamp_t(trig.ttime.l());
+    for other in active {
+        if other.pin == trig.pin || !other.must {
+            continue;
+        }
+        let skews = other.arrival.sub(trig.arrival);
+        let mut worst_ratio = 0.0f64;
+        let mut always_in_window = true;
+        for ti in [trig.ttime.s(), trig.ttime.l()] {
+            for tj in [other.ttime.s(), other.ttime.l()] {
+                let v = cell.vshape_delay(
+                    trig.pin,
+                    other.pin,
+                    cell.clamp_t(ti),
+                    cell.clamp_t(tj),
+                    load,
+                )?;
+                let knee = v.right_knee().1;
+                if knee > Time::ZERO {
+                    let r = (v.max_over(skews) / knee).min(1.0).max(0.0);
+                    worst_ratio = worst_ratio.max(r);
+                } else {
+                    worst_ratio = 1.0;
+                }
+                if !v.simultaneous_window().contains_bound(skews) {
+                    always_in_window = false;
+                }
+            }
+        }
+        d = d * worst_ratio;
+        if always_in_window {
+            k_sim += 1;
+            t_large_sum = t_large_sum + cell.clamp_t(other.ttime.l());
+        }
+    }
+    // The composed upper bound must never dip below the characterized
+    // zero-skew floor (a lower bound on any simultaneous delay).
+    if k_sim >= 2 {
+        if let Ok(floor) = cell.kway_floor(k_sim, t_large_sum / k_sim as f64) {
+            d = d.max(floor);
+        }
+    }
+    Ok(d)
+}
+
+fn clamp_range(cell: &CharacterizedGate, t: Bound) -> (Time, Time) {
+    let lo = cell.clamp_t(t.s());
+    let hi = cell.clamp_t(t.l());
+    (lo, hi.max(lo))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ssdm_cells::{CharConfig, Characterizer};
+    use ssdm_spice::GateKind;
+    use std::sync::OnceLock;
+
+    fn nand2() -> &'static CharacterizedGate {
+        static CELL: OnceLock<CharacterizedGate> = OnceLock::new();
+        CELL.get_or_init(|| {
+            Characterizer::min_size("NAND2", GateKind::Nand, 2, CharConfig::fast())
+                .unwrap()
+                .characterize()
+                .unwrap()
+        })
+    }
+
+    fn ns(x: f64) -> Time {
+        Time::from_ns(x)
+    }
+
+    fn b(s: f64, l: f64) -> Bound {
+        Bound::new(ns(s), ns(l)).unwrap()
+    }
+
+    fn sta_pin(a: Bound, t: Bound) -> PinWindow {
+        PinWindow::sta(LineTiming::symmetric(a, t))
+    }
+
+    #[test]
+    fn sta_windows_have_both_edges() {
+        let cell = nand2();
+        let pins = vec![
+            sta_pin(b(0.0, 1.0), b(0.2, 0.6)),
+            sta_pin(b(0.0, 1.0), b(0.2, 0.6)),
+        ];
+        let (lt, used) = stage_windows(cell, ModelKind::Proposed, &pins, cell.ref_load()).unwrap();
+        let rise = lt.rise.unwrap();
+        let fall = lt.fall.unwrap();
+        assert!(rise.arrival.s() < rise.arrival.l());
+        assert!(rise.arrival.s() > Time::ZERO);
+        assert!(fall.arrival.l() > fall.arrival.s());
+        assert!(rise.ttime.s() > Time::ZERO);
+        assert!(used[0][Edge::Fall.index()].is_some());
+        assert!(used[1][Edge::Rise.index()].is_some());
+    }
+
+    #[test]
+    fn proposed_min_is_below_pin_to_pin_min() {
+        // Table 2's mechanism: the proposed model lowers min arrival (the
+        // simultaneous speed-up) and leaves max arrival unchanged.
+        let cell = nand2();
+        let pins = vec![
+            sta_pin(b(0.0, 0.5), b(0.2, 0.6)),
+            sta_pin(b(0.0, 0.5), b(0.2, 0.6)),
+        ];
+        let (prop, _) = stage_windows(cell, ModelKind::Proposed, &pins, cell.ref_load()).unwrap();
+        let (p2p, _) = stage_windows(cell, ModelKind::PinToPin, &pins, cell.ref_load()).unwrap();
+        let pr = prop.rise.unwrap();
+        let br = p2p.rise.unwrap();
+        assert!(
+            pr.arrival.s() < br.arrival.s(),
+            "proposed {} vs pin-to-pin {}",
+            pr.arrival.s(),
+            br.arrival.s()
+        );
+        assert_eq!(pr.arrival.l(), br.arrival.l(), "max delay must match");
+        // Falling (to-non-controlling) edge is pin-to-pin in both.
+        assert_eq!(prop.fall, p2p.fall);
+    }
+
+    #[test]
+    fn disjoint_arrival_windows_disable_the_speedup() {
+        // If the two inputs can never be δ-simultaneous, the proposed
+        // model's min equals pin-to-pin.
+        let cell = nand2();
+        let pins = vec![
+            sta_pin(b(0.0, 0.1), b(0.3, 0.3)),
+            sta_pin(b(8.0, 9.0), b(0.3, 0.3)),
+        ];
+        let (prop, _) = stage_windows(cell, ModelKind::Proposed, &pins, cell.ref_load()).unwrap();
+        let (p2p, _) = stage_windows(cell, ModelKind::PinToPin, &pins, cell.ref_load()).unwrap();
+        let d = (prop.rise.unwrap().arrival.s() - p2p.rise.unwrap().arrival.s()).abs();
+        assert!(d < ns(1e-9), "no overlap → no speed-up, diff {d}");
+    }
+
+    #[test]
+    fn cannot_participation_removes_edges() {
+        let cell = nand2();
+        let mut p0 = sta_pin(b(0.0, 1.0), b(0.2, 0.6));
+        let mut p1 = sta_pin(b(0.0, 1.0), b(0.2, 0.6));
+        // Neither input can fall → the output can never rise.
+        p0.participation[Edge::Fall.index()] = Participation::Cannot;
+        p1.participation[Edge::Fall.index()] = Participation::Cannot;
+        let (lt, used) =
+            stage_windows(cell, ModelKind::Proposed, &[p0, p1], cell.ref_load()).unwrap();
+        assert!(lt.rise.is_none());
+        assert!(lt.fall.is_some());
+        assert!(used[0][Edge::Fall.index()].is_none());
+    }
+
+    #[test]
+    fn must_participation_tightens_latest_arrival() {
+        let cell = nand2();
+        let base = [
+            sta_pin(b(0.0, 0.2), b(0.3, 0.3)),
+            sta_pin(b(0.0, 3.0), b(0.3, 0.3)),
+        ];
+        let (all_may, _) =
+            stage_windows(cell, ModelKind::Proposed, &base, cell.ref_load()).unwrap();
+        // Pin 0 definitely falls: the rise can no longer wait for pin 1.
+        let mut refined = base;
+        refined[0].participation[Edge::Fall.index()] = Participation::Must;
+        let (tight, _) =
+            stage_windows(cell, ModelKind::Proposed, &refined, cell.ref_load()).unwrap();
+        assert!(
+            tight.rise.unwrap().arrival.l() < all_may.rise.unwrap().arrival.l(),
+            "must-fall on the early pin caps the latest rise"
+        );
+        // Refinement invariant.
+        assert!(all_may.refined_by(&tight));
+    }
+
+    #[test]
+    fn must_participation_raises_earliest_non_controlling() {
+        let cell = nand2();
+        let base = [
+            sta_pin(b(0.0, 0.2), b(0.3, 0.3)),
+            sta_pin(b(2.0, 3.0), b(0.3, 0.3)),
+        ];
+        let (all_may, _) =
+            stage_windows(cell, ModelKind::Proposed, &base, cell.ref_load()).unwrap();
+        // Pin 1 definitely rises: the output fall must wait for it.
+        let mut refined = base;
+        refined[1].participation[Edge::Rise.index()] = Participation::Must;
+        let (tight, _) =
+            stage_windows(cell, ModelKind::Proposed, &refined, cell.ref_load()).unwrap();
+        assert!(
+            tight.fall.unwrap().arrival.s() > all_may.fall.unwrap().arrival.s(),
+            "must-rise on the late pin raises the earliest fall"
+        );
+        assert!(all_may.refined_by(&tight));
+    }
+
+    #[test]
+    #[should_panic(expected = "pin count mismatch")]
+    fn pin_count_is_validated() {
+        let cell = nand2();
+        let _ = stage_windows(cell, ModelKind::Proposed, &[], cell.ref_load());
+    }
+}

@@ -1,0 +1,200 @@
+//! Human-readable timing reports: endpoint summaries and critical-path
+//! extraction.
+
+use ssdm_core::{Edge, Time};
+use ssdm_netlist::{Circuit, GateType, NetId};
+
+use crate::engine::TimingView;
+
+/// One step of an extracted path, from launch to endpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PathStep {
+    /// The net.
+    pub net: NetId,
+    /// The transition direction at this net.
+    pub edge: Edge,
+    /// The latest arrival of that edge at this net.
+    pub arrival: Time,
+}
+
+/// Extracts the latest (critical) path ending at `endpoint` with edge
+/// `edge`, by walking the dominant contributor backwards: at each gate the
+/// fan-in whose latest arrival plus its recorded delay bound reaches the
+/// gate's own latest arrival most closely.
+///
+/// Returns the path in launch → endpoint order; empty when the endpoint
+/// has no window for that edge.
+pub fn critical_path<V: TimingView + ?Sized>(
+    circuit: &Circuit,
+    result: &V,
+    endpoint: NetId,
+    edge: Edge,
+) -> Vec<PathStep> {
+    let mut rev = Vec::new();
+    let mut net = endpoint;
+    let mut e = edge;
+    loop {
+        let Some(et) = result.line(net).edge(e) else {
+            break;
+        };
+        rev.push(PathStep {
+            net,
+            edge: e,
+            arrival: et.arrival.l(),
+        });
+        let gate = circuit.gate(net);
+        if gate.gtype == GateType::Input {
+            break;
+        }
+        let in_edge = e.through(result.gate_inverting(net));
+        // Dominant contributor: maximize fan-in latest arrival + max delay.
+        let mut best: Option<(NetId, Time)> = None;
+        for (pin, &f) in gate.fanin.iter().enumerate() {
+            let Some(d) = result.delay_used(net, pin, in_edge) else {
+                continue;
+            };
+            let Some(fet) = result.line(f).edge(in_edge) else {
+                continue;
+            };
+            let reach = fet.arrival.l() + d.l();
+            if best.map_or(true, |(_, r)| reach > r) {
+                best = Some((f, reach));
+            }
+        }
+        match best {
+            Some((f, _)) => {
+                net = f;
+                e = in_edge;
+            }
+            None => break,
+        }
+    }
+    rev.reverse();
+    rev
+}
+
+/// The slowest endpoint of the circuit: `(net, edge, latest arrival)`, or
+/// `None` when no output has a window.
+pub fn slowest_endpoint<V: TimingView + ?Sized>(
+    circuit: &Circuit,
+    result: &V,
+) -> Option<(NetId, Edge, Time)> {
+    let mut best: Option<(NetId, Edge, Time)> = None;
+    for &po in circuit.outputs() {
+        for e in Edge::BOTH {
+            if let Some(et) = result.line(po).edge(e) {
+                let a = et.arrival.l();
+                if best.map_or(true, |(_, _, b)| a > b) {
+                    best = Some((po, e, a));
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Formats a full timing report: per-output windows plus the critical
+/// path.
+pub fn timing_report<V: TimingView + ?Sized>(circuit: &Circuit, result: &V) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Timing report — {}\n\n", circuit.name()));
+    out.push_str(&format!(
+        "{:<14}{:>6}{:>24}{:>24}\n",
+        "output", "", "rise arrival [s, l]", "fall arrival [s, l]"
+    ));
+    for &po in circuit.outputs() {
+        let lt = result.line(po);
+        let fmt = |e: Edge| match lt.edge(e) {
+            Some(et) => format!("{:.3}", et.arrival),
+            None => "—".to_owned(),
+        };
+        out.push_str(&format!(
+            "{:<14}{:>6}{:>24}{:>24}\n",
+            circuit.gate(po).name,
+            "",
+            fmt(Edge::Rise),
+            fmt(Edge::Fall)
+        ));
+    }
+    if let Some((po, edge, arrival)) = slowest_endpoint(circuit, result) {
+        out.push_str(&format!(
+            "\ncritical path (to {} {edge}, {arrival:.3}):\n",
+            circuit.gate(po).name
+        ));
+        for step in critical_path(circuit, result, po, edge) {
+            out.push_str(&format!(
+                "  {:<12} {}  @ {:.3}\n",
+                circuit.gate(step.net).name,
+                step.edge,
+                step.arrival
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Sta, StaConfig};
+    use crate::testlib::library;
+    use ssdm_netlist::suite;
+
+    #[test]
+    fn critical_path_runs_from_input_to_output() {
+        let c = suite::c17();
+        let r = Sta::new(&c, library(), StaConfig::default()).run().unwrap();
+        let (po, edge, _) = slowest_endpoint(&c, &r).unwrap();
+        let path = critical_path(&c, &r, po, edge);
+        assert!(path.len() >= 3, "path too short: {path:?}");
+        assert!(c.is_input(path[0].net), "path must start at a PI");
+        assert_eq!(path.last().unwrap().net, po);
+        // Arrivals increase monotonically along the path.
+        for w in path.windows(2) {
+            assert!(w[0].arrival < w[1].arrival, "non-causal path: {path:?}");
+        }
+        // Consecutive steps are connected in the netlist.
+        for w in path.windows(2) {
+            assert!(c.gate(w[1].net).fanin.contains(&w[0].net));
+        }
+    }
+
+    #[test]
+    fn path_edge_alternates_through_inverting_gates() {
+        let c = suite::c17(); // all NAND: edges must alternate.
+        let r = Sta::new(&c, library(), StaConfig::default()).run().unwrap();
+        let (po, edge, _) = slowest_endpoint(&c, &r).unwrap();
+        let path = critical_path(&c, &r, po, edge);
+        for w in path.windows(2) {
+            assert_eq!(w[0].edge, w[1].edge.inverted());
+        }
+    }
+
+    #[test]
+    fn slowest_endpoint_matches_max_delay() {
+        let c = suite::c17();
+        let r = Sta::new(&c, library(), StaConfig::default()).run().unwrap();
+        let (_, _, arrival) = slowest_endpoint(&c, &r).unwrap();
+        assert_eq!(arrival, r.endpoint_max_delay(&c));
+    }
+
+    #[test]
+    fn report_formats() {
+        let c = suite::c17();
+        let r = Sta::new(&c, library(), StaConfig::default()).run().unwrap();
+        let report = timing_report(&c, &r);
+        assert!(report.contains("critical path"));
+        assert!(report.contains("22"));
+        assert!(report.contains("23"));
+        assert!(report.lines().count() > 8);
+    }
+
+    #[test]
+    fn synthetic_circuit_path_is_deep() {
+        let c = suite::synthetic("c880s").unwrap();
+        let r = Sta::new(&c, library(), StaConfig::default()).run().unwrap();
+        let (po, edge, _) = slowest_endpoint(&c, &r).unwrap();
+        let path = critical_path(&c, &r, po, edge);
+        assert!(path.len() > 10, "critical path of only {} steps", path.len());
+    }
+}

@@ -1,0 +1,106 @@
+//! Mapping netlist gates onto characterized library cells.
+//!
+//! The characterized library holds inverting primitives (INV, NANDn,
+//! NORn); non-inverting netlist gates map onto two stages: `AND = NAND +
+//! INV`, `OR = NOR + INV`, `BUF = INV + INV`. Timing propagates through
+//! the stages in sequence, so the simultaneous-switching speed-up inside
+//! an AND's NAND core is still modeled.
+
+use ssdm_netlist::GateType;
+
+use crate::error::StaError;
+
+/// The one- or two-stage cell decomposition of a netlist gate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePlan {
+    /// First-stage cell name (receives the gate's fan-ins).
+    pub first: String,
+    /// Optional second-stage cell name (an inverter).
+    pub second: Option<String>,
+}
+
+impl StagePlan {
+    /// True when the *composite* gate is logically inverting (odd number
+    /// of inverting stages).
+    pub fn inverting(&self) -> bool {
+        // Every library primitive is inverting, so the composite inverts
+        // iff there is exactly one stage.
+        self.second.is_none()
+    }
+}
+
+/// Builds the stage plan for a gate type with `fanin` inputs.
+///
+/// # Errors
+///
+/// Returns [`StaError::Unmappable`] for `Input` pseudo-gates and for
+/// fan-ins beyond the characterized maximum (the standard library covers
+/// 2–4).
+pub fn stage_plan(gtype: GateType, fanin: usize, gate_name: &str) -> Result<StagePlan, StaError> {
+    let plan = |first: String, second: Option<&str>| StagePlan {
+        first,
+        second: second.map(str::to_owned),
+    };
+    match gtype {
+        GateType::Input => Err(StaError::Unmappable {
+            gate: gate_name.to_owned(),
+            reason: "primary inputs have no cell".into(),
+        }),
+        GateType::Not => Ok(plan("INV".into(), None)),
+        GateType::Buf => Ok(plan("INV".into(), Some("INV"))),
+        GateType::Nand | GateType::And | GateType::Nor | GateType::Or => {
+            if !(2..=4).contains(&fanin) {
+                return Err(StaError::Unmappable {
+                    gate: gate_name.to_owned(),
+                    reason: format!("fan-in {fanin} outside the characterized range 2–4"),
+                });
+            }
+            let base = match gtype {
+                GateType::Nand | GateType::And => format!("NAND{fanin}"),
+                _ => format!("NOR{fanin}"),
+            };
+            let second = matches!(gtype, GateType::And | GateType::Or).then_some("INV");
+            Ok(plan(base, second))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverting_primitives_are_single_stage() {
+        let p = stage_plan(GateType::Nand, 3, "g").unwrap();
+        assert_eq!(p.first, "NAND3");
+        assert_eq!(p.second, None);
+        assert!(p.inverting());
+        let p = stage_plan(GateType::Not, 1, "g").unwrap();
+        assert_eq!(p.first, "INV");
+        assert!(p.inverting());
+        let p = stage_plan(GateType::Nor, 2, "g").unwrap();
+        assert_eq!(p.first, "NOR2");
+    }
+
+    #[test]
+    fn non_inverting_gates_add_an_inverter() {
+        let p = stage_plan(GateType::And, 4, "g").unwrap();
+        assert_eq!(p.first, "NAND4");
+        assert_eq!(p.second.as_deref(), Some("INV"));
+        assert!(!p.inverting());
+        let p = stage_plan(GateType::Buf, 1, "g").unwrap();
+        assert_eq!(p.first, "INV");
+        assert_eq!(p.second.as_deref(), Some("INV"));
+        assert!(!p.inverting());
+        let p = stage_plan(GateType::Or, 2, "g").unwrap();
+        assert_eq!(p.first, "NOR2");
+        assert_eq!(p.second.as_deref(), Some("INV"));
+    }
+
+    #[test]
+    fn rejects_unmappable() {
+        assert!(stage_plan(GateType::Input, 0, "pi").is_err());
+        assert!(stage_plan(GateType::Nand, 5, "g").is_err());
+        assert!(stage_plan(GateType::Nand, 1, "g").is_err());
+    }
+}

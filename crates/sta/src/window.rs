@@ -1,0 +1,226 @@
+//! Per-line timing windows (Figure 7) and participation states.
+
+use ssdm_core::{Bound, Edge, Time};
+
+/// Arrival and transition-time windows for one output edge of one line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeTiming {
+    /// `[A_S, A_L]` — smallest/largest arrival time.
+    pub arrival: Bound,
+    /// `[T_S, T_L]` — shortest/longest transition time.
+    pub ttime: Bound,
+}
+
+impl EdgeTiming {
+    /// A degenerate window: exact arrival and transition time.
+    pub fn point(arrival: Time, ttime: Time) -> EdgeTiming {
+        EdgeTiming {
+            arrival: Bound::point(arrival),
+            ttime: Bound::point(ttime),
+        }
+    }
+}
+
+/// The eight timing fields of one line: `A/T × R/F × S/L` (Figure 7).
+/// An edge is `None` when analysis has established the line cannot make
+/// that transition (possible only under ITR's refined states; plain STA
+/// always produces both edges).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LineTiming {
+    /// Rising-edge windows.
+    pub rise: Option<EdgeTiming>,
+    /// Falling-edge windows.
+    pub fall: Option<EdgeTiming>,
+}
+
+impl LineTiming {
+    /// The windows for `edge`.
+    pub fn edge(&self, edge: Edge) -> Option<EdgeTiming> {
+        match edge {
+            Edge::Rise => self.rise,
+            Edge::Fall => self.fall,
+        }
+    }
+
+    /// Sets the windows for `edge`.
+    pub fn set_edge(&mut self, edge: Edge, t: Option<EdgeTiming>) {
+        match edge {
+            Edge::Rise => self.rise = t,
+            Edge::Fall => self.fall = t,
+        }
+    }
+
+    /// Identical windows on both edges (typical primary-input setup).
+    pub fn symmetric(arrival: Bound, ttime: Bound) -> LineTiming {
+        let e = EdgeTiming { arrival, ttime };
+        LineTiming {
+            rise: Some(e),
+            fall: Some(e),
+        }
+    }
+
+    /// The earliest arrival over both edges (`+∞` when neither exists).
+    pub fn earliest(&self) -> Time {
+        [self.rise, self.fall]
+            .into_iter()
+            .flatten()
+            .map(|e| e.arrival.s())
+            .fold(Time::INFINITY, Time::min)
+    }
+
+    /// The latest arrival over both edges (`−∞` when neither exists).
+    pub fn latest(&self) -> Time {
+        [self.rise, self.fall]
+            .into_iter()
+            .flatten()
+            .map(|e| e.arrival.l())
+            .fold(Time::NEG_INFINITY, Time::max)
+    }
+
+    /// True when every window of `other` is contained in the corresponding
+    /// window of `self` (i.e. `other` is a refinement) — the invariant ITR
+    /// must maintain. A window that disappears (`Some → None`) refines; one
+    /// that appears (`None → Some`) does not.
+    pub fn refined_by(&self, other: &LineTiming) -> bool {
+        self.refined_by_within(other, Time::ZERO)
+    }
+
+    /// [`LineTiming::refined_by`] with a containment slack: each bound of
+    /// `other` may stick out of `self` by up to `tol`.
+    ///
+    /// Window propagation samples V-shapes at the corners of the
+    /// transition-time box (the paper's `β, γ ∈ {S, L}`); when refinement
+    /// shrinks that box the corners move, which can perturb a bound by a
+    /// sub-picosecond sliver even though the windows genuinely shrink.
+    /// Monotonicity checks should therefore allow a small `tol`.
+    pub fn refined_by_within(&self, other: &LineTiming, tol: Time) -> bool {
+        let contains = |outer: Bound, inner: Bound| {
+            outer.s() - tol <= inner.s() && inner.l() <= outer.l() + tol
+        };
+        for edge in Edge::BOTH {
+            match (self.edge(edge), other.edge(edge)) {
+                (_, None) => {}
+                (None, Some(_)) => return false,
+                (Some(a), Some(b)) => {
+                    if !(contains(a.arrival, b.arrival) && contains(a.ttime, b.ttime)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Whether a line participates in a transition, from its two-frame logic
+/// state `S` (Section 5.1): `Must` ⇔ `S = 1`, `May` ⇔ `S = 0`,
+/// `Cannot` ⇔ `S = −1`. Plain STA is the all-`May` special case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Participation {
+    /// The transition definitely occurs.
+    Must,
+    /// The transition may occur (unknown values).
+    #[default]
+    May,
+    /// The transition cannot occur.
+    Cannot,
+}
+
+impl Participation {
+    /// True unless `Cannot`.
+    pub fn possible(self) -> bool {
+        self != Participation::Cannot
+    }
+}
+
+/// One gate input as seen by window propagation: its per-edge windows and
+/// participation states.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PinWindow {
+    /// Timing of the driving line.
+    pub timing: LineTiming,
+    /// Participation per edge (`[rise, fall]`, indexed by [`Edge::index`]).
+    pub participation: [Participation; 2],
+}
+
+impl PinWindow {
+    /// An unconstrained pin (STA default): both edges `May`.
+    pub fn sta(timing: LineTiming) -> PinWindow {
+        PinWindow {
+            timing,
+            participation: [Participation::May; 2],
+        }
+    }
+
+    /// Participation for `edge`.
+    pub fn part(&self, edge: Edge) -> Participation {
+        self.participation[edge.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ns(x: f64) -> Time {
+        Time::from_ns(x)
+    }
+
+    fn b(s: f64, l: f64) -> Bound {
+        Bound::new(ns(s), ns(l)).unwrap()
+    }
+
+    #[test]
+    fn edge_accessors() {
+        let mut lt = LineTiming::symmetric(b(0.0, 1.0), b(0.1, 0.5));
+        assert_eq!(lt.edge(Edge::Rise), lt.edge(Edge::Fall));
+        lt.set_edge(Edge::Fall, None);
+        assert!(lt.edge(Edge::Fall).is_none());
+        assert!(lt.edge(Edge::Rise).is_some());
+    }
+
+    #[test]
+    fn earliest_latest() {
+        let mut lt = LineTiming::default();
+        assert_eq!(lt.earliest(), Time::INFINITY);
+        assert_eq!(lt.latest(), Time::NEG_INFINITY);
+        lt.rise = Some(EdgeTiming { arrival: b(1.0, 2.0), ttime: b(0.1, 0.2) });
+        lt.fall = Some(EdgeTiming { arrival: b(0.5, 3.0), ttime: b(0.1, 0.2) });
+        assert_eq!(lt.earliest(), ns(0.5));
+        assert_eq!(lt.latest(), ns(3.0));
+    }
+
+    #[test]
+    fn refinement_relation() {
+        let broad = LineTiming::symmetric(b(0.0, 2.0), b(0.1, 0.6));
+        let tight = LineTiming::symmetric(b(0.5, 1.5), b(0.2, 0.4));
+        assert!(broad.refined_by(&tight));
+        assert!(!tight.refined_by(&broad));
+        // Losing an edge is a refinement.
+        let mut lost = tight;
+        lost.fall = None;
+        assert!(broad.refined_by(&lost));
+        // Gaining one is not.
+        let mut partial = broad;
+        partial.rise = None;
+        assert!(!partial.refined_by(&broad));
+        // Reflexivity.
+        assert!(broad.refined_by(&broad));
+    }
+
+    #[test]
+    fn participation() {
+        assert!(Participation::Must.possible());
+        assert!(Participation::May.possible());
+        assert!(!Participation::Cannot.possible());
+        let p = PinWindow::sta(LineTiming::symmetric(b(0.0, 1.0), b(0.1, 0.2)));
+        assert_eq!(p.part(Edge::Rise), Participation::May);
+    }
+
+    #[test]
+    fn point_timing() {
+        let e = EdgeTiming::point(ns(1.0), ns(0.3));
+        assert_eq!(e.arrival.width(), Time::ZERO);
+        assert_eq!(e.ttime.s(), ns(0.3));
+    }
+}

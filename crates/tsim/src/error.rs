@@ -1,0 +1,71 @@
+//! Timing-simulation error types.
+
+use std::error::Error;
+use std::fmt;
+
+use ssdm_models::ModelError;
+use ssdm_sta::StaError;
+
+/// Errors produced by timing simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TsimError {
+    /// The vector pair does not cover every primary input.
+    BadVector {
+        /// Expected count.
+        want: usize,
+        /// Provided count.
+        got: usize,
+    },
+    /// Gate-to-cell mapping or load computation failed.
+    Sta(StaError),
+    /// A delay-model evaluation failed.
+    Model(ModelError),
+}
+
+impl fmt::Display for TsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsimError::BadVector { want, got } => {
+                write!(f, "vector covers {got} inputs, circuit has {want}")
+            }
+            TsimError::Sta(e) => write!(f, "cell mapping failed: {e}"),
+            TsimError::Model(e) => write!(f, "delay model failed: {e}"),
+        }
+    }
+}
+
+impl Error for TsimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TsimError::Sta(e) => Some(e),
+            TsimError::Model(e) => Some(e),
+            TsimError::BadVector { .. } => None,
+        }
+    }
+}
+
+impl From<StaError> for TsimError {
+    fn from(e: StaError) -> TsimError {
+        TsimError::Sta(e)
+    }
+}
+
+impl From<ModelError> for TsimError {
+    fn from(e: ModelError) -> TsimError {
+        TsimError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = TsimError::BadVector { want: 5, got: 3 };
+        assert!(e.to_string().contains("3"));
+        assert!(Error::source(&e).is_none());
+        let e = TsimError::from(StaError::NoTrigger { gate: "g".into() });
+        assert!(Error::source(&e).is_some());
+    }
+}

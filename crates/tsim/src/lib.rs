@@ -1,0 +1,46 @@
+//! Two-frame timing simulation (the paper's "TS" analysis mode).
+//!
+//! *"In STA, the input vectors are completely unspecified. In timing
+//! simulation (TS), the input vectors are completely specified."* — given
+//! a fully specified vector pair, this crate propagates the **actual**
+//! transitions through a netlist using any point-response
+//! [`ssdm_models::DelayModel`], producing one arrival/transition-time
+//! event per switching net.
+//!
+//! Besides being an analysis mode in its own right, TS is the oracle that
+//! validates STA and ITR: every simulated event must land inside the
+//! corresponding min-max window (see the cross-crate property tests).
+//!
+//! The simulation is two-frame and hazard-free by construction: each net
+//! carries at most one transition, the one implied by its frame-1 → frame-2
+//! value change. Glitches from input skew inside a single frame are below
+//! this abstraction, exactly as in the paper.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use ssdm_cells::{CellLibrary, CharConfig};
+//! use ssdm_models::ProposedModel;
+//! use ssdm_netlist::suite;
+//! use ssdm_tsim::{SimInput, TimingSim};
+//!
+//! let lib = CellLibrary::characterize_standard(&CharConfig::fast())?;
+//! let c17 = suite::c17();
+//! let sim = TimingSim::new(&c17, &lib, ProposedModel::new());
+//! let trace = sim.run(&SimInput::step(&c17, &[true; 5], &[false; 5]))?;
+//! for &po in c17.outputs() {
+//!     if let Some(tr) = trace.event(po) {
+//!         println!("{}: {tr}", c17.gate(po).name);
+//!     }
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod sim;
+
+pub use error::TsimError;
+pub use sim::{SimInput, SimTrace, TimingSim};

@@ -1,0 +1,246 @@
+//! End-to-end integration tests spanning every crate: characterize →
+//! model → STA → ITR → ATPG, on real and synthetic circuits.
+
+use std::sync::OnceLock;
+
+use ssdm::atpg::{Atpg, AtpgConfig, FaultOutcome};
+use ssdm::cells::{CellLibrary, CharConfig};
+use ssdm::itr::Itr;
+use ssdm::logic::{Assignments, V2};
+use ssdm::models::{DelayModel, PinToPinModel, ProposedModel, SpiceReference};
+use ssdm::netlist::{coupling_sites, parse_bench, suite, write_bench};
+use ssdm::sta::{find_violations, required_times, ModelKind, Sta, StaConfig};
+use ssdm::timing::{Bound, Edge, Time, Transition};
+
+fn library() -> &'static CellLibrary {
+    static LIB: OnceLock<CellLibrary> = OnceLock::new();
+    LIB.get_or_init(|| {
+        CellLibrary::characterize_standard(&CharConfig::fast()).expect("characterization")
+    })
+}
+
+#[test]
+fn library_round_trips_through_text() {
+    let lib = library();
+    let text = lib.to_text();
+    let back = CellLibrary::from_text(&text).expect("parse back");
+    assert_eq!(*lib, back);
+    // Queries agree after the round trip.
+    let a = lib.require("NAND3").unwrap();
+    let b = back.require("NAND3").unwrap();
+    let t = Time::from_ns(0.42);
+    assert_eq!(
+        a.pin_delay(Edge::Rise, 2, t, a.ref_load()).unwrap(),
+        b.pin_delay(Edge::Rise, 2, t, b.ref_load()).unwrap()
+    );
+}
+
+#[test]
+fn proposed_model_tracks_spice_across_cells_and_stimuli() {
+    // The paper's central accuracy claim, across the whole library.
+    let lib = library();
+    let reference = SpiceReference::default();
+    let proposed = ProposedModel::new();
+    let mut checked = 0;
+    for name in ["NAND2", "NAND3", "NOR2"] {
+        let cell = lib.require(name).unwrap();
+        let in_edge = cell.ctrl_out_edge().inverted();
+        let load = cell.ref_load();
+        for (t0, t1, skew) in [
+            (0.3, 0.3, 0.0),
+            (0.3, 1.2, 0.0),
+            (0.8, 0.4, 0.2),
+            (0.5, 0.5, -0.25),
+            (0.5, 0.5, 1.8),
+        ] {
+            let stim = [
+                (0usize, Transition::new(in_edge, Time::from_ns(2.0), Time::from_ns(t0))),
+                (1usize, Transition::new(in_edge, Time::from_ns(2.0 + skew), Time::from_ns(t1))),
+            ];
+            let r = reference.response(cell, &stim, load).unwrap();
+            let p = proposed.response(cell, &stim, load).unwrap();
+            let err = (r.arrival - p.arrival).abs();
+            assert!(
+                err < Time::from_ns(0.05),
+                "{name} (T={t0}/{t1}, δ={skew}): spice {} vs proposed {}",
+                r.arrival,
+                p.arrival
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 15);
+}
+
+#[test]
+fn table2_shape_holds_across_the_suite() {
+    let lib = library();
+    let mut strict_reductions = 0;
+    let mut big_circuits = 0;
+    for circuit in suite::bench_suite() {
+        let ours = Sta::new(&circuit, lib, StaConfig::default()).run().unwrap();
+        let p2p = Sta::new(
+            &circuit,
+            lib,
+            StaConfig::default().with_model(ModelKind::PinToPin),
+        )
+        .run()
+        .unwrap();
+        let (min_ours, min_p2p) = (
+            ours.endpoint_min_delay(&circuit),
+            p2p.endpoint_min_delay(&circuit),
+        );
+        assert!(
+            min_ours <= min_p2p + Time::from_ns(1e-9),
+            "{}: proposed min {} vs p2p {}",
+            circuit.name(),
+            min_ours,
+            min_p2p
+        );
+        let (max_ours, max_p2p) = (
+            ours.endpoint_max_delay(&circuit),
+            p2p.endpoint_max_delay(&circuit),
+        );
+        // The simultaneous-switching model leaves the max-delay corner
+        // essentially untouched (a sharper min transition time can shift
+        // it by a sliver through the T-window).
+        assert!(
+            (max_ours - max_p2p).abs() < max_p2p * 1e-3,
+            "{}: max delays diverge: {max_ours} vs {max_p2p}",
+            circuit.name()
+        );
+        if circuit.n_gates() > 100 {
+            big_circuits += 1;
+            if min_ours < min_p2p {
+                strict_reductions += 1;
+            }
+        }
+    }
+    // The speed-up must actually bite on most large circuits (the paper:
+    // 6 of 9 benchmarks affected).
+    assert!(
+        strict_reductions * 2 >= big_circuits,
+        "min-delay reduction on only {strict_reductions}/{big_circuits} large circuits"
+    );
+}
+
+#[test]
+fn itr_refines_sta_on_a_synthetic_circuit() {
+    let lib = library();
+    let circuit = suite::synthetic("c880s").unwrap();
+    let sta = Sta::new(&circuit, lib, StaConfig::default()).run().unwrap();
+    let itr = Itr::new(&circuit, lib, StaConfig::default());
+    let mut a = Assignments::new(circuit.n_nets());
+    // Pin a quarter of the PIs to steady values.
+    for (i, &pi) in circuit.inputs().iter().enumerate() {
+        if i % 4 == 0 {
+            a.set(pi, V2::steady(i % 8 == 0)).unwrap();
+        }
+    }
+    let refined = itr.refine(&mut a).unwrap();
+    for id in circuit.topo() {
+        assert!(
+            sta.line(id).refined_by_within(refined.line(id), Time::from_ps(2.0)),
+            "net {} widened under refinement",
+            circuit.gate(id).name
+        );
+    }
+}
+
+#[test]
+fn required_times_and_violations_compose_with_itr() {
+    let lib = library();
+    let circuit = suite::c17();
+    let itr = Itr::new(&circuit, lib, StaConfig::default());
+    let mut a = Assignments::new(circuit.n_nets());
+    for &pi in circuit.inputs() {
+        a.set(pi, V2::transition(Edge::Fall)).unwrap();
+    }
+    let refined = itr.refine(&mut a).unwrap();
+    let clock = Bound::new(Time::ZERO, Time::from_ns(5.0)).unwrap();
+    let q = required_times(&circuit, &refined, [clock; 2]);
+    assert_eq!(q.len(), circuit.n_nets());
+    assert!(find_violations(&circuit, &refined, [clock; 2]).is_empty());
+}
+
+#[test]
+fn atpg_with_itr_meets_or_beats_blind_search_on_c17() {
+    let lib = library();
+    let circuit = suite::c17();
+    let sites = coupling_sites(&circuit, 10, 77);
+    let with = Atpg::new(&circuit, lib, AtpgConfig { use_itr: true, ..AtpgConfig::default() });
+    let without = Atpg::new(&circuit, lib, AtpgConfig { use_itr: false, ..AtpgConfig::default() });
+    let sw = with.run_sites(&sites).unwrap();
+    let so = without.run_sites(&sites).unwrap();
+    assert!(
+        sw.efficiency() >= so.efficiency() - 1e-12,
+        "ITR efficiency {} < blind {}",
+        sw.efficiency(),
+        so.efficiency()
+    );
+    assert_eq!(sw.total(), sites.len());
+}
+
+#[test]
+fn detected_tests_excite_opposing_aligned_transitions() {
+    let lib = library();
+    let circuit = suite::c17();
+    let atpg = Atpg::new(&circuit, lib, AtpgConfig::default());
+    let mut found = 0;
+    for site in coupling_sites(&circuit, 12, 5) {
+        if let FaultOutcome::Detected(test) = atpg.run_site(site).unwrap() {
+            found += 1;
+            // Re-simulate the returned test independently.
+            let mut a = Assignments::new(circuit.n_nets());
+            for (idx, &pi) in circuit.inputs().iter().enumerate() {
+                a.set(pi, V2::new(test.v1[idx], test.v2[idx])).unwrap();
+            }
+            ssdm::logic::imply(&circuit, &mut a).unwrap();
+            let v = a.get(site.victim);
+            let g = a.get(site.aggressor);
+            assert!(v.is_fully_specified() && g.is_fully_specified());
+            assert_ne!(v.first, v.second, "victim must transition");
+            assert_ne!(g.first, g.second, "aggressor must transition");
+            assert_ne!(v.second, g.second, "transitions must oppose");
+        }
+    }
+    assert!(found > 0, "campaign found no tests at all");
+}
+
+#[test]
+fn bench_writer_round_trips_synthetic_circuits() {
+    let circuit = suite::synthetic("c1355s").unwrap();
+    let text = write_bench(&circuit);
+    let back = parse_bench("c1355s", &text).unwrap();
+    assert_eq!(back.n_gates(), circuit.n_gates());
+    // STA agrees on the round-tripped netlist.
+    let lib = library();
+    let a = Sta::new(&circuit, lib, StaConfig::default()).run().unwrap();
+    let b = Sta::new(&back, lib, StaConfig::default()).run().unwrap();
+    assert!(
+        (a.endpoint_max_delay(&circuit) - b.endpoint_max_delay(&back)).abs()
+            < Time::from_ns(1e-9)
+    );
+}
+
+#[test]
+fn baselines_disagree_with_proposed_exactly_where_the_paper_says() {
+    let lib = library();
+    let cell = lib.require("NAND2").unwrap();
+    let load = cell.ref_load();
+    let pin2pin = PinToPinModel::new();
+    let proposed = ProposedModel::new();
+    // Zero skew: proposed is faster than pin-to-pin (speed-up captured).
+    let stim = [
+        (0usize, Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5))),
+        (1usize, Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5))),
+    ];
+    let p = proposed.response(cell, &stim, load).unwrap();
+    let b = pin2pin.response(cell, &stim, load).unwrap();
+    assert!(p.arrival < b.arrival);
+    // Single switch: identical.
+    let single = [(0usize, Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5)))];
+    let p = proposed.response(cell, &single, load).unwrap();
+    let b = pin2pin.response(cell, &single, load).unwrap();
+    assert_eq!(p.arrival, b.arrival);
+}
