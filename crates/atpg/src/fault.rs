@@ -18,8 +18,14 @@ impl CrosstalkFault {
     /// Both polarities of a site (slow-to-rise and slow-to-fall victims).
     pub fn polarities(site: CrosstalkSite) -> [CrosstalkFault; 2] {
         [
-            CrosstalkFault { site, victim_edge: Edge::Rise },
-            CrosstalkFault { site, victim_edge: Edge::Fall },
+            CrosstalkFault {
+                site,
+                victim_edge: Edge::Rise,
+            },
+            CrosstalkFault {
+                site,
+                victim_edge: Edge::Fall,
+            },
         ]
     }
 
@@ -64,7 +70,10 @@ mod tests {
 
     #[test]
     fn polarity_pairing() {
-        let site = CrosstalkSite { aggressor: NetId(1), victim: NetId(2) };
+        let site = CrosstalkSite {
+            aggressor: NetId(1),
+            victim: NetId(2),
+        };
         let [r, f] = CrosstalkFault::polarities(site);
         assert_eq!(r.victim_edge, Edge::Rise);
         assert_eq!(r.aggressor_edge(), Edge::Fall);

@@ -24,8 +24,7 @@ pub fn faulty_frame2(circuit: &Circuit, good: &Assignments, victim: NetId) -> Ve
             match gate.gtype {
                 GateType::Input => good.get(id).second,
                 _ => {
-                    let fanin: Vec<Tri> =
-                        gate.fanin.iter().map(|f| vals[f.index()]).collect();
+                    let fanin: Vec<Tri> = gate.fanin.iter().map(|f| vals[f.index()]).collect();
                     eval3(gate.gtype, &fanin)
                 }
             }

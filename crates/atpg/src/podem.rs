@@ -142,6 +142,13 @@ impl<'a> Atpg<'a> {
         }
     }
 
+    /// Counters from the refiner's shared incremental timing engine —
+    /// useful for judging how much of the PODEM search cost the dirty-cone
+    /// propagation and the memo cache absorbed.
+    pub fn timing_stats(&self) -> ssdm_sta::IncrementalStats {
+        self.itr.stats()
+    }
+
     /// Targets one site: tries both fault polarities; reports `Detected`
     /// if either yields a test, `Undetectable` only when both are proven
     /// untestable.
@@ -260,13 +267,7 @@ impl<'a> Atpg<'a> {
         Ok(stats)
     }
 
-    fn assign(
-        &self,
-        a: &mut Assignments,
-        pi: NetId,
-        frame: Frame,
-        value: bool,
-    ) -> Result<(), ()> {
+    fn assign(&self, a: &mut Assignments, pi: NetId, frame: Frame, value: bool) -> Result<(), ()> {
         let v2 = match frame {
             Frame::First => V2::new(Tri::from_bool(value), Tri::X),
             Frame::Second => V2::new(Tri::X, Tri::from_bool(value)),
@@ -293,10 +294,7 @@ impl<'a> Atpg<'a> {
             return Ok(Step::Conflict);
         }
         // Justify the victim transition, then the aggressor's.
-        for (net, state, edge) in [
-            (fault.victim(), s_v, e_v),
-            (fault.aggressor(), s_a, e_a),
-        ] {
+        for (net, state, edge) in [(fault.victim(), s_v, e_v), (fault.aggressor(), s_a, e_a)] {
             if state == TransState::Maybe {
                 let v = a.get(net);
                 if !v.first.is_known() {
@@ -402,11 +400,12 @@ impl<'a> Atpg<'a> {
                     value = !value;
                 }
                 GateType::And | GateType::Nand | GateType::Or | GateType::Nor => {
-                    let cv = gate
-                        .gtype
-                        .controlling_value()
-                        .expect("multi-input gate");
-                    let core = if gate.gtype.inverting() { !value } else { value };
+                    let cv = gate.gtype.controlling_value().expect("multi-input gate");
+                    let core = if gate.gtype.inverting() {
+                        !value
+                    } else {
+                        value
+                    };
                     // And-core is true only when all inputs are 1 (= !cv);
                     // Or-core is false only when all are 0 (= !cv).
                     let need_all = match gate.gtype {
@@ -559,8 +558,22 @@ mod tests {
         // logically detectable WITHOUT (the reverse may differ on budget).
         let c = suite::c17();
         let sites = ssdm_netlist::coupling_sites(&c, 6, 12);
-        let with = Atpg::new(&c, library(), AtpgConfig { use_itr: true, ..Default::default() });
-        let without = Atpg::new(&c, library(), AtpgConfig { use_itr: false, ..Default::default() });
+        let with = Atpg::new(
+            &c,
+            library(),
+            AtpgConfig {
+                use_itr: true,
+                ..Default::default()
+            },
+        );
+        let without = Atpg::new(
+            &c,
+            library(),
+            AtpgConfig {
+                use_itr: false,
+                ..Default::default()
+            },
+        );
         for &s in &sites {
             let a = with.run_site(s).unwrap();
             let b = without.run_site(s).unwrap();
@@ -575,7 +588,11 @@ mod tests {
 
     #[test]
     fn efficiency_metric() {
-        let s = AtpgStats { detected: 3, undetectable: 1, aborted: 6 };
+        let s = AtpgStats {
+            detected: 3,
+            undetectable: 1,
+            aborted: 6,
+        };
         assert_eq!(s.total(), 10);
         assert!((s.efficiency() - 0.4).abs() < 1e-12);
         assert_eq!(AtpgStats::default().efficiency(), 1.0);

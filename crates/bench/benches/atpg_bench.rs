@@ -12,7 +12,14 @@ fn bench_atpg(c: &mut Criterion) {
     let mut group = c.benchmark_group("atpg_c17_4faults");
     group.sample_size(10);
     for use_itr in [true, false] {
-        let atpg = Atpg::new(&circuit, &lib, AtpgConfig { use_itr, ..AtpgConfig::default() });
+        let atpg = Atpg::new(
+            &circuit,
+            &lib,
+            AtpgConfig {
+                use_itr,
+                ..AtpgConfig::default()
+            },
+        );
         group.bench_function(if use_itr { "with_itr" } else { "without_itr" }, |b| {
             b.iter(|| atpg.run_sites(&sites).unwrap())
         });

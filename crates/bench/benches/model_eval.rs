@@ -15,8 +15,14 @@ fn bench_models(c: &mut Criterion) {
     let cell = lib.require("NAND2").expect("NAND2");
     let load = cell.ref_load();
     let stim = [
-        (0usize, Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5))),
-        (1usize, Transition::new(Edge::Fall, Time::from_ns(1.2), Time::from_ns(0.8))),
+        (
+            0usize,
+            Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5)),
+        ),
+        (
+            1usize,
+            Transition::new(Edge::Fall, Time::from_ns(1.2), Time::from_ns(0.8)),
+        ),
     ];
     let mut group = c.benchmark_group("model_eval");
     let proposed = ProposedModel::new();

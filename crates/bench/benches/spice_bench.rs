@@ -11,7 +11,11 @@ fn bench_spice(c: &mut Criterion) {
     let nand5 = GateSim::nand(5);
     let load = nand2.inverter_load();
     let fall = |a: f64| {
-        PinState::Switch(Transition::new(Edge::Fall, Time::from_ns(a), Time::from_ns(0.5)))
+        PinState::Switch(Transition::new(
+            Edge::Fall,
+            Time::from_ns(a),
+            Time::from_ns(0.5),
+        ))
     };
     group.bench_function("nand2_single_switch", |b| {
         b.iter(|| {

@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grids: [(&str, Vec<f64>); 3] = [
         ("3-point", vec![0.15, 0.7, 1.6]),
         ("6-point", vec![0.1, 0.25, 0.5, 0.9, 1.4, 2.0]),
-        ("9-point", vec![0.1, 0.2, 0.32, 0.5, 0.72, 1.0, 1.3, 1.65, 2.0]),
+        (
+            "9-point",
+            vec![0.1, 0.2, 0.32, 0.5, 0.72, 1.0, 1.3, 1.65, 2.0],
+        ),
     ];
     let sim = GateSim::nand(2);
     println!(

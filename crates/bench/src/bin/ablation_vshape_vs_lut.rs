@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let m = sim.measure(
             &[
                 PinState::Switch(Transition::new(Edge::Fall, base, t_x)),
-                PinState::Switch(Transition::new(Edge::Fall, base + Time::from_ns(skew_ns), t_y)),
+                PinState::Switch(Transition::new(
+                    Edge::Fall,
+                    base + Time::from_ns(skew_ns),
+                    t_y,
+                )),
             ],
             load,
         )?;
@@ -46,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut n = 0;
     println!("Ablation — V-shape vs skew-LUT (NAND2, T_X = 0.4 ns, T_Y = 0.9 ns)");
     println!();
-    println!("{:>8}{:>10}{:>10}{:>10}", "δ (ns)", "spice", "v-shape", "lut");
+    println!(
+        "{:>8}{:>10}{:>10}{:>10}",
+        "δ (ns)", "spice", "v-shape", "lut"
+    );
     for i in -15..=15 {
         let skew = i as f64 * 0.11 + 0.013; // deliberately off-grid
         let truth = measure(skew)?;

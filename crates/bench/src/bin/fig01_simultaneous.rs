@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = GateSim::nand(2);
     let load = sim.inverter_load();
     let fall = |a: f64| {
-        PinState::Switch(Transition::new(Edge::Fall, Time::from_ns(a), Time::from_ns(0.5)))
+        PinState::Switch(Transition::new(
+            Edge::Fall,
+            Time::from_ns(a),
+            Time::from_ns(0.5),
+        ))
     };
 
     let single = sim.measure(&[fall(1.0), PinState::Steady(true)], load)?;
@@ -23,8 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("Figure 1 — NAND2, T = 0.5 ns, one minimum-inverter load");
     println!();
-    println!("  single falling input : delay = {:.3} ns", single.delay.as_ns());
-    println!("  both inputs, δ = 0   : delay = {:.3} ns", both.delay.as_ns());
+    println!(
+        "  single falling input : delay = {:.3} ns",
+        single.delay.as_ns()
+    );
+    println!(
+        "  both inputs, δ = 0   : delay = {:.3} ns",
+        both.delay.as_ns()
+    );
     println!();
     println!(
         "  speed-up factor      : {:.2}×   (paper: 0.30 ns / 0.17 ns = 1.76×)",

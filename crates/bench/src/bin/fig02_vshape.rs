@@ -47,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst = worst.max(err);
         println!(
             "{}",
-            row(&format!("{:+.2}", skew.as_ns()), &[m.delay.as_ns(), approx.as_ns(), err])
+            row(
+                &format!("{:+.2}", skew.as_ns()),
+                &[m.delay.as_ns(), approx.as_ns(), err]
+            )
         );
     }
     println!();

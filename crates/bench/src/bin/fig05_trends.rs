@@ -14,7 +14,10 @@
 use ssdm_core::{CurveShape, Edge, Samples, Time, Transition};
 use ssdm_spice::{GateKind, GateSim, PinState, Process};
 
-fn sweep_t(sim: &GateSim, out: &mut Vec<(f64, f64, f64)>) -> Result<(), Box<dyn std::error::Error>> {
+fn sweep_t(
+    sim: &GateSim,
+    out: &mut Vec<(f64, f64, f64)>,
+) -> Result<(), Box<dyn std::error::Error>> {
     let load = sim.inverter_load();
     for i in 0..14 {
         let t = 0.1 + i as f64 * 0.45;
@@ -70,15 +73,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let m = balanced.measure(
             &[
                 PinState::Switch(Transition::new(Edge::Fall, base, Time::from_ns(0.5))),
-                PinState::Switch(Transition::new(Edge::Fall, base + Time::from_ns(s), Time::from_ns(0.5))),
+                PinState::Switch(Transition::new(
+                    Edge::Fall,
+                    base + Time::from_ns(s),
+                    Time::from_ns(0.5),
+                )),
             ],
             load,
         )?;
         dskew.push((s, m.delay.as_ns()));
         tskew.push((s, m.ttime.as_ns()));
     }
-    println!("  (c) d vs δ                       : {:?}", shape_with_tol(&dskew, 2.5e-3));
-    println!("  (f) t_out vs δ                   : {:?}", shape_with_tol(&tskew, 2.5e-3));
+    println!(
+        "  (c) d vs δ                       : {:?}",
+        shape_with_tol(&dskew, 2.5e-3)
+    );
+    println!(
+        "  (f) t_out vs δ                   : {:?}",
+        shape_with_tol(&tskew, 2.5e-3)
+    );
     let tmin = tskew
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))

@@ -64,15 +64,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Context: the position spread itself.
     println!("Pin-to-pin rise delay by stack position (T = 0.5 ns):");
-    let d0 = sim.pin_to_pin(0, Edge::Fall, Time::from_ns(0.5), load)?.delay;
+    let d0 = sim
+        .pin_to_pin(0, Edge::Fall, Time::from_ns(0.5), load)?
+        .delay;
     for pos in 0..5 {
-        let d = sim.pin_to_pin(pos, Edge::Fall, Time::from_ns(0.5), load)?.delay;
-        println!("  p = {pos}: {:.3} ns  ({:+.0}% vs p0)", d.as_ns(), (d / d0 - 1.0) * 100.0);
+        let d = sim
+            .pin_to_pin(pos, Edge::Fall, Time::from_ns(0.5), load)?
+            .delay;
+        println!(
+            "  p = {pos}: {:.3} ns  ({:+.0}% vs p0)",
+            d.as_ns(),
+            (d / d0 - 1.0) * 100.0
+        );
     }
     println!();
 
     println!("Figure 10 — single falling transition at position 4 of NAND5");
-    println!("{}", header("T_F (ns)", &["spice", "proposed", "jun", "nabavi"]));
+    println!(
+        "{}",
+        header("T_F (ns)", &["spice", "proposed", "jun", "nabavi"])
+    );
     let models: Vec<Box<dyn DelayModel>> = vec![
         Box::new(SpiceReference::default()),
         Box::new(ProposedModel::new()),
@@ -82,7 +93,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut worst: Vec<f64> = vec![0.0; models.len()];
     for i in 0..9 {
         let t = 0.15 + i as f64 * 0.22;
-        let stim = [(4usize, Transition::new(Edge::Fall, Time::from_ns(2.0), Time::from_ns(t)))];
+        let stim = [(
+            4usize,
+            Transition::new(Edge::Fall, Time::from_ns(2.0), Time::from_ns(t)),
+        )];
         let mut vals = Vec::new();
         for m in &models {
             let r = m.response(&cell, &stim, load)?;
@@ -103,11 +117,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // all these approaches match HSPICE results."
     println!();
     println!("Same sweep at position 0 (for contrast):");
-    println!("{}", header("T_F (ns)", &["spice", "proposed", "jun", "nabavi"]));
+    println!(
+        "{}",
+        header("T_F (ns)", &["spice", "proposed", "jun", "nabavi"])
+    );
     let mut worst0: Vec<f64> = vec![0.0; models.len()];
     for i in 0..9 {
         let t = 0.15 + i as f64 * 0.22;
-        let stim = [(0usize, Transition::new(Edge::Fall, Time::from_ns(2.0), Time::from_ns(t)))];
+        let stim = [(
+            0usize,
+            Transition::new(Edge::Fall, Time::from_ns(2.0), Time::from_ns(t)),
+        )];
         let mut vals = Vec::new();
         for m in &models {
             let r = m.response(&cell, &stim, load)?;

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("Figure 11 — NAND2 simultaneous switching, δ = 0, T_X = 0.5 ns");
-    println!("{}", header("T_Y (ns)", &["spice", "proposed", "nabavi", "jun"]));
+    println!(
+        "{}",
+        header("T_Y (ns)", &["spice", "proposed", "nabavi", "jun"])
+    );
     let t_x = Time::from_ns(0.5);
     let base = Time::from_ns(2.0);
     let mut errs = vec![(0.0f64, 0.0f64); models.len()]; // (near, far) from T_X
@@ -29,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t_y = 0.1 + i as f64 * 0.2;
         let stim = [
             (0usize, Transition::new(Edge::Fall, base, t_x)),
-            (1usize, Transition::new(Edge::Fall, base, Time::from_ns(t_y))),
+            (
+                1usize,
+                Transition::new(Edge::Fall, base, Time::from_ns(t_y)),
+            ),
         ];
         let mut vals = Vec::new();
         for m in &models {

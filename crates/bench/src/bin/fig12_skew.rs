@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (t_x, t_y) = (Time::from_ns(0.5), Time::from_ns(0.8));
     let base = Time::from_ns(2.0);
     println!("Figure 12 — NAND2 delay vs skew (T_X = 0.5 ns, T_Y = 0.8 ns)");
-    println!("{}", header("δ (ns)", &["spice", "proposed", "nabavi", "jun"]));
+    println!(
+        "{}",
+        header("δ (ns)", &["spice", "proposed", "nabavi", "jun"])
+    );
     let mut small_skew = vec![0.0f64; models.len()];
     let mut large_skew = vec![0.0f64; models.len()];
     for step in -10..=10 {

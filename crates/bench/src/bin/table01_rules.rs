@@ -22,7 +22,11 @@ fn main() {
                 .iter()
                 .map(|s| format!("({},{})", s.s_x, s.s_y))
                 .collect();
-            let cell = if cell.is_empty() { "—".to_owned() } else { cell.join(" ") };
+            let cell = if cell.is_empty() {
+                "—".to_owned()
+            } else {
+                cell.join(" ")
+            };
             print!("{cell:>14}");
         }
         println!();

@@ -24,7 +24,10 @@ pub fn cache_dir() -> PathBuf {
 ///
 /// Propagates characterization/IO failures.
 pub fn full_library() -> Result<CellLibrary, CellError> {
-    CellLibrary::load_or_characterize_standard(&cache_dir().join("library-full.txt"), &CharConfig::full())
+    CellLibrary::load_or_characterize_standard(
+        &cache_dir().join("library-full.txt"),
+        &CharConfig::full(),
+    )
 }
 
 /// The coarse-grid library for quick runs.
@@ -33,7 +36,10 @@ pub fn full_library() -> Result<CellLibrary, CellError> {
 ///
 /// Propagates characterization/IO failures.
 pub fn fast_library() -> Result<CellLibrary, CellError> {
-    CellLibrary::load_or_characterize_standard(&cache_dir().join("library-fast.txt"), &CharConfig::fast())
+    CellLibrary::load_or_characterize_standard(
+        &cache_dir().join("library-fast.txt"),
+        &CharConfig::fast(),
+    )
 }
 
 /// Formats one row of right-aligned numeric columns after a left-aligned

@@ -100,7 +100,10 @@ impl CharacterizedGate {
         npairs: Vec<PairTiming>,
         kway: Vec<Poly1>,
     ) -> CharacterizedGate {
-        assert!(pins[0].len() == n && pins[1].len() == n, "pin table size mismatch");
+        assert!(
+            pins[0].len() == n && pins[1].len() == n,
+            "pin table size mismatch"
+        );
         for p in pairs.iter().chain(&npairs) {
             assert!(p.i < p.j && p.j < n, "bad pair ({}, {})", p.i, p.j);
         }
@@ -188,7 +191,10 @@ impl CharacterizedGate {
     pub fn pin(&self, out_edge: Edge, position: usize) -> Result<&PinTiming, CellError> {
         self.pins[out_edge.index()]
             .get(position)
-            .ok_or(CellError::BadPin { pin: position, n: self.n })
+            .ok_or(CellError::BadPin {
+                pin: position,
+                n: self.n,
+            })
     }
 
     /// Clamps a queried transition time into the characterized range, per
@@ -292,9 +298,10 @@ impl CharacterizedGate {
         load: Capacitance,
     ) -> Result<VShape, CellError> {
         let out_edge = self.ctrl_out_edge().inverted();
-        let pair = self
-            .npair(i, j)
-            .ok_or(CellError::BadPin { pin: j.max(i), n: self.n })?;
+        let pair = self.npair(i, j).ok_or(CellError::BadPin {
+            pin: j.max(i),
+            n: self.n,
+        })?;
         let mirrored = i > j;
         let (ti_n, tj_n) = if mirrored { (t_j, t_i) } else { (t_i, t_j) };
         let (ti_c, tj_c) = (self.clamp_t(ti_n), self.clamp_t(tj_n));
@@ -326,9 +333,10 @@ impl CharacterizedGate {
         t_i: Time,
         t_j: Time,
     ) -> Result<Time, CellError> {
-        let pair = self
-            .npair(i, j)
-            .ok_or(CellError::BadPin { pin: j.max(i), n: self.n })?;
+        let pair = self.npair(i, j).ok_or(CellError::BadPin {
+            pin: j.max(i),
+            n: self.n,
+        })?;
         let (ti_n, tj_n) = if i > j { (t_j, t_i) } else { (t_i, t_j) };
         Ok(pair.t0.eval(self.clamp_t(ti_n), self.clamp_t(tj_n)))
     }
@@ -350,7 +358,9 @@ impl CharacterizedGate {
         load: Capacitance,
     ) -> Result<VShape, CellError> {
         let out_edge = self.ctrl_out_edge();
-        let pair = self.pair(i, j).ok_or(CellError::BadPin { pin: j, n: self.n })?;
+        let pair = self
+            .pair(i, j)
+            .ok_or(CellError::BadPin { pin: j, n: self.n })?;
         // Normalized orientation: pair.(i, j) with i < j; if the caller
         // asked for (j, i), mirror the skew axis.
         let mirrored = i > j;
@@ -386,7 +396,9 @@ impl CharacterizedGate {
         load: Capacitance,
     ) -> Result<VShape, CellError> {
         let out_edge = self.ctrl_out_edge();
-        let pair = self.pair(i, j).ok_or(CellError::BadPin { pin: j, n: self.n })?;
+        let pair = self
+            .pair(i, j)
+            .ok_or(CellError::BadPin { pin: j, n: self.n })?;
         let mirrored = i > j;
         let (ti_n, tj_n) = if mirrored { (t_j, t_i) } else { (t_i, t_j) };
         let (ti_c, tj_c) = (self.clamp_t(ti_n), self.clamp_t(tj_n));
@@ -446,7 +458,9 @@ fn make_vshape(
 ) -> Result<VShape, CellError> {
     let l = (left.0.min(vertex.0), left.1);
     let r = (right.0.max(vertex.0), right.1);
-    VShape::new(l, vertex, r).map_err(|_: CoreError| CellError::SingularFit { what: "v-shape assembly" })
+    VShape::new(l, vertex, r).map_err(|_: CoreError| CellError::SingularFit {
+        what: "v-shape assembly",
+    })
 }
 
 /// Mirrors a V-shape across the skew origin (for querying a pair in the
@@ -470,8 +484,12 @@ pub(crate) mod tests {
     /// numbers.
     pub(crate) fn toy_nand2() -> CharacterizedGate {
         let delay0 = Poly1 { k: [0.0, 0.1, 0.1] }; // d = 0.1T + 0.1
-        let delay1 = Poly1 { k: [0.0, 0.1, 0.12] }; // slightly slower at pos 1
-        let ttime = Poly1 { k: [0.0, 0.3, 0.15] };
+        let delay1 = Poly1 {
+            k: [0.0, 0.1, 0.12],
+        }; // slightly slower at pos 1
+        let ttime = Poly1 {
+            k: [0.0, 0.3, 0.15],
+        };
         let mk = |d: Poly1| PinTiming {
             delay: d,
             ttime,
@@ -481,21 +499,39 @@ pub(crate) mod tests {
         let pair = PairTiming {
             i: 0,
             j: 1,
-            d0: D0Surface { k: [0.0, 0.0, 0.0, 0.08] }, // constant 0.08
-            sr: Quad2 { k: [0.0, 0.0, 0.0, 0.0, 0.0, 0.3] }, // constant +0.3
-            syr: Quad2 { k: [0.0, 0.0, 0.0, 0.0, 0.0, -0.25] },
-            t0: D0Surface { k: [0.0, 0.0, 0.0, 0.12] },
-            sk_t_min: Quad2 { k: [0.0, 0.0, 0.0, 0.0, 0.0, 0.05] },
+            d0: D0Surface {
+                k: [0.0, 0.0, 0.0, 0.08],
+            }, // constant 0.08
+            sr: Quad2 {
+                k: [0.0, 0.0, 0.0, 0.0, 0.0, 0.3],
+            }, // constant +0.3
+            syr: Quad2 {
+                k: [0.0, 0.0, 0.0, 0.0, 0.0, -0.25],
+            },
+            t0: D0Surface {
+                k: [0.0, 0.0, 0.0, 0.12],
+            },
+            sk_t_min: Quad2 {
+                k: [0.0, 0.0, 0.0, 0.0, 0.0, 0.05],
+            },
         };
         // A to-non-controlling record: peak 0.25 at zero skew, decaying to
         // the pin delays within ±0.2 ns.
         let npair = PairTiming {
             i: 0,
             j: 1,
-            d0: D0Surface { k: [0.0, 0.0, 0.0, 0.25] },
-            sr: Quad2 { k: [0.0, 0.0, 0.0, 0.0, 0.0, 0.2] },
-            syr: Quad2 { k: [0.0, 0.0, 0.0, 0.0, 0.0, -0.2] },
-            t0: D0Surface { k: [0.0, 0.0, 0.0, 0.4] },
+            d0: D0Surface {
+                k: [0.0, 0.0, 0.0, 0.25],
+            },
+            sr: Quad2 {
+                k: [0.0, 0.0, 0.0, 0.0, 0.0, 0.2],
+            },
+            syr: Quad2 {
+                k: [0.0, 0.0, 0.0, 0.0, 0.0, -0.2],
+            },
+            t0: D0Surface {
+                k: [0.0, 0.0, 0.0, 0.4],
+            },
             sk_t_min: Quad2 { k: [0.0; 6] },
         };
         CharacterizedGate::new(
@@ -600,11 +636,15 @@ pub(crate) mod tests {
         // Linear delay: no peak.
         assert_eq!(g.delay_peak_t(Edge::Rise, 0).unwrap(), None);
         // Make position 0 rise-delay concave with vertex at 1.0.
-        g.pins[Edge::Rise.index()][0].delay = Poly1 { k: [-0.1, 0.2, 0.1] };
+        g.pins[Edge::Rise.index()][0].delay = Poly1 {
+            k: [-0.1, 0.2, 0.1],
+        };
         let peak = g.delay_peak_t(Edge::Rise, 0).unwrap().unwrap();
         assert!((peak.as_ns() - 1.0).abs() < 1e-12);
         // Vertex outside the characterized range is not reported.
-        g.pins[Edge::Rise.index()][0].delay = Poly1 { k: [-0.01, 0.2, 0.1] }; // vertex at 10
+        g.pins[Edge::Rise.index()][0].delay = Poly1 {
+            k: [-0.01, 0.2, 0.1],
+        }; // vertex at 10
         assert_eq!(g.delay_peak_t(Edge::Rise, 0).unwrap(), None);
     }
 

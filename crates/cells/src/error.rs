@@ -62,8 +62,12 @@ impl fmt::Display for CellError {
             CellError::Simulation(e) => write!(f, "reference simulation failed: {e}"),
             CellError::UnknownCell { name } => write!(f, "unknown cell {name:?}"),
             CellError::BadPin { pin, n } => write!(f, "pin {pin} out of range for {n}-input cell"),
-            CellError::Parse { line, reason } => write!(f, "library parse error at line {line}: {reason}"),
-            CellError::Io { path, reason } => write!(f, "library i/o failed for {path:?}: {reason}"),
+            CellError::Parse { line, reason } => {
+                write!(f, "library parse error at line {line}: {reason}")
+            }
+            CellError::Io { path, reason } => {
+                write!(f, "library i/o failed for {path:?}: {reason}")
+            }
         }
     }
 }
@@ -89,13 +93,23 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(CellError::SingularFit { what: "DR" }.to_string().contains("DR"));
-        assert!(CellError::UnknownCell { name: "NAND9".into() }
+        assert!(CellError::SingularFit { what: "DR" }
             .to_string()
-            .contains("NAND9"));
-        let e = CellError::TooFewPoints { what: "SR", got: 2, need: 6 };
+            .contains("DR"));
+        assert!(CellError::UnknownCell {
+            name: "NAND9".into()
+        }
+        .to_string()
+        .contains("NAND9"));
+        let e = CellError::TooFewPoints {
+            what: "SR",
+            got: 2,
+            need: 6,
+        };
         assert!(e.to_string().contains("got 2"));
-        assert!(CellError::BadPin { pin: 7, n: 2 }.to_string().contains("pin 7"));
+        assert!(CellError::BadPin { pin: 7, n: 2 }
+            .to_string()
+            .contains("pin 7"));
     }
 
     #[test]

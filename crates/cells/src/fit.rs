@@ -34,7 +34,9 @@ impl Poly1 {
     pub fn fit(ts: &[f64], values: &[f64], what: &'static str) -> Result<Poly1, CellError> {
         let rows: Vec<Vec<f64>> = ts.iter().map(|&t| vec![t * t, t, 1.0]).collect();
         let k = lsq::solve(&rows, values, what)?;
-        Ok(Poly1 { k: [k[0], k[1], k[2]] })
+        Ok(Poly1 {
+            k: [k[0], k[1], k[2]],
+        })
     }
 
     /// Evaluates at transition time `t`.
@@ -122,7 +124,9 @@ impl D0Surface {
             .collect();
         let values: Vec<f64> = points.iter().map(|p| p.2).collect();
         let k = lsq::solve(&rows, &values, what)?;
-        Ok(D0Surface { k: [k[0], k[1], k[2], k[3]] })
+        Ok(D0Surface {
+            k: [k[0], k[1], k[2], k[3]],
+        })
     }
 
     /// Evaluates at `(t_x, t_y)`.
@@ -217,14 +221,18 @@ mod tests {
     #[test]
     fn poly1_argmax_cases() {
         // Concave with interior peak at T = 1.
-        let p = Poly1 { k: [-1.0, 2.0, 0.0] };
+        let p = Poly1 {
+            k: [-1.0, 2.0, 0.0],
+        };
         assert_eq!(p.argmax_over(ns(0.0), ns(2.0)), ns(1.0));
         // Peak left of the range: max at the left endpoint.
         assert_eq!(p.argmax_over(ns(1.5), ns(2.0)), ns(1.5));
         // Peak right of the range: max at the right endpoint.
         assert_eq!(p.argmax_over(ns(0.0), ns(0.5)), ns(0.5));
         // Convex: max at an endpoint.
-        let q = Poly1 { k: [1.0, -2.0, 0.0] };
+        let q = Poly1 {
+            k: [1.0, -2.0, 0.0],
+        };
         assert_eq!(q.argmax_over(ns(0.0), ns(3.0)), ns(3.0));
         // Linear.
         let l = Poly1 { k: [0.0, 1.0, 0.0] };
@@ -234,10 +242,14 @@ mod tests {
 
     #[test]
     fn poly1_argmin_cases() {
-        let convex = Poly1 { k: [1.0, -2.0, 0.0] }; // min at T = 1
+        let convex = Poly1 {
+            k: [1.0, -2.0, 0.0],
+        }; // min at T = 1
         assert_eq!(convex.argmin_over(ns(0.0), ns(2.0)), ns(1.0));
         assert_eq!(convex.argmin_over(ns(1.5), ns(2.0)), ns(1.5));
-        let concave = Poly1 { k: [-1.0, 2.0, 0.0] };
+        let concave = Poly1 {
+            k: [-1.0, 2.0, 0.0],
+        };
         // Concave min is at an endpoint.
         let m = concave.argmin_over(ns(0.0), ns(3.0));
         assert!(m == ns(0.0) || m == ns(3.0));
@@ -266,7 +278,9 @@ mod tests {
 
     #[test]
     fn d0_paper_coefficients_round_trip() {
-        let s = D0Surface { k: [0.06, 0.02, -0.015, 0.08] };
+        let s = D0Surface {
+            k: [0.06, 0.02, -0.015, 0.08],
+        };
         let [k20, k21, k22, k23, k24] = s.paper_coefficients();
         for &(tx, ty) in &[(0.1f64, 0.3f64), (0.5, 1.2), (2.0, 0.7)] {
             let x: f64 = tx.cbrt();
@@ -279,7 +293,9 @@ mod tests {
 
     #[test]
     fn d0_paper_coefficients_degenerate() {
-        let s = D0Surface { k: [0.0, 0.5, 0.0, 0.1] };
+        let s = D0Surface {
+            k: [0.0, 0.5, 0.0, 0.1],
+        };
         let [k20, _k21, k22, k23, k24] = s.paper_coefficients();
         // Degenerate form must still reproduce x-linear surfaces.
         let x: f64 = 0.8f64.cbrt();

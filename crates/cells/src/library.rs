@@ -56,7 +56,9 @@ impl CellLibrary {
     ///
     /// Returns [`CellError::UnknownCell`] if absent.
     pub fn require(&self, name: &str) -> Result<&CharacterizedGate, CellError> {
-        self.get(name).ok_or_else(|| CellError::UnknownCell { name: name.to_owned() })
+        self.get(name).ok_or_else(|| CellError::UnknownCell {
+            name: name.to_owned(),
+        })
     }
 
     /// Iterates cell names in sorted order.
@@ -103,9 +105,7 @@ impl CellLibrary {
                 .iter()
                 .map(|&(name, kind, n)| {
                     let cfg = config.clone();
-                    scope.spawn(move || {
-                        Characterizer::min_size(name, kind, n, cfg)?.characterize()
-                    })
+                    scope.spawn(move || Characterizer::min_size(name, kind, n, cfg)?.characterize())
                 })
                 .collect();
             handles
@@ -287,7 +287,9 @@ impl<'a> Parser<'a> {
                     let cell = self.parse_cell_body(header)?;
                     lib.insert(cell);
                 }
-                Some(other) => return Err(Self::err(ln, format!("expected 'cell', got {other:?}"))),
+                Some(other) => {
+                    return Err(Self::err(ln, format!("expected 'cell', got {other:?}")))
+                }
                 None => unreachable!("non-empty line has a token"),
             }
         }
@@ -330,7 +332,10 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_cell_body(&mut self, h: CellHeader) -> Result<CharacterizedGate, CellError> {
-        let mut pins: [Vec<PinTiming>; 2] = [vec![PinTiming::default(); h.n], vec![PinTiming::default(); h.n]];
+        let mut pins: [Vec<PinTiming>; 2] = [
+            vec![PinTiming::default(); h.n],
+            vec![PinTiming::default(); h.n],
+        ];
         let mut seen = [vec![false; h.n], vec![false; h.n]];
         let mut pairs = Vec::new();
         let mut npairs = Vec::new();
@@ -362,8 +367,12 @@ impl<'a> Parser<'a> {
                     }
                     let f = Self::parse_floats(ln, toks, 8)?;
                     pins[edge][pos] = PinTiming {
-                        delay: Poly1 { k: [f[0], f[1], f[2]] },
-                        ttime: Poly1 { k: [f[3], f[4], f[5]] },
+                        delay: Poly1 {
+                            k: [f[0], f[1], f[2]],
+                        },
+                        ttime: Poly1 {
+                            k: [f[3], f[4], f[5]],
+                        },
                         delay_load_slope: f[6],
                         ttime_load_slope: f[7],
                     };
@@ -385,11 +394,21 @@ impl<'a> Parser<'a> {
                     let record = PairTiming {
                         i,
                         j,
-                        d0: D0Surface { k: [f[0], f[1], f[2], f[3]] },
-                        sr: Quad2 { k: [f[4], f[5], f[6], f[7], f[8], f[9]] },
-                        syr: Quad2 { k: [f[10], f[11], f[12], f[13], f[14], f[15]] },
-                        t0: D0Surface { k: [f[16], f[17], f[18], f[19]] },
-                        sk_t_min: Quad2 { k: [f[20], f[21], f[22], f[23], f[24], f[25]] },
+                        d0: D0Surface {
+                            k: [f[0], f[1], f[2], f[3]],
+                        },
+                        sr: Quad2 {
+                            k: [f[4], f[5], f[6], f[7], f[8], f[9]],
+                        },
+                        syr: Quad2 {
+                            k: [f[10], f[11], f[12], f[13], f[14], f[15]],
+                        },
+                        t0: D0Surface {
+                            k: [f[16], f[17], f[18], f[19]],
+                        },
+                        sk_t_min: Quad2 {
+                            k: [f[20], f[21], f[22], f[23], f[24], f[25]],
+                        },
                     };
                     if kw == "pair" {
                         pairs.push(record);
@@ -403,7 +422,12 @@ impl<'a> Parser<'a> {
                         .and_then(|s| s.parse().ok())
                         .ok_or_else(|| Self::err(ln, "bad kway k"))?;
                     let f = Self::parse_floats(ln, toks, 3)?;
-                    kway.push((k, Poly1 { k: [f[0], f[1], f[2]] }));
+                    kway.push((
+                        k,
+                        Poly1 {
+                            k: [f[0], f[1], f[2]],
+                        },
+                    ));
                 }
                 Some(other) => return Err(Self::err(ln, format!("unknown record {other:?}"))),
                 None => unreachable!("non-empty line has a token"),
@@ -456,7 +480,10 @@ impl<'a> Parser<'a> {
             .collect();
         let f = f?;
         if f.len() != want {
-            return Err(Self::err(ln, format!("expected {want} floats, got {}", f.len())));
+            return Err(Self::err(
+                ln,
+                format!("expected {want} floats, got {}", f.len()),
+            ));
         }
         Ok(f)
     }

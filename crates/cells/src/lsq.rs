@@ -20,6 +20,8 @@ use crate::error::CellError;
 /// # Panics
 ///
 /// Panics if rows have inconsistent lengths or `rows.len() != y.len()`.
+// Index loops mirror the textbook matrix formulas; iterators obscure them.
+#[allow(clippy::needless_range_loop)]
 pub fn solve(rows: &[Vec<f64>], y: &[f64], what: &'static str) -> Result<Vec<f64>, CellError> {
     assert_eq!(rows.len(), y.len(), "lsq::solve: rows/y length mismatch");
     let m = rows.len();
@@ -52,6 +54,7 @@ pub fn solve(rows: &[Vec<f64>], y: &[f64], what: &'static str) -> Result<Vec<f64
 }
 
 /// In-place Gaussian elimination with partial pivoting on an `n×n` system.
+#[allow(clippy::needless_range_loop)]
 fn gauss_solve(
     a: &mut [Vec<f64>],
     b: &mut [f64],

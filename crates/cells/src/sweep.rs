@@ -107,7 +107,9 @@ impl Characterizer {
         }
         let sim = GateSim::new(kind, n, wn_um, wp_um, process)?;
         let ref_load = Capacitance::from_ff(
-            config.ref_load_ff.unwrap_or_else(|| sim.inverter_load().as_ff()),
+            config
+                .ref_load_ff
+                .unwrap_or_else(|| sim.inverter_load().as_ff()),
         );
         Ok(Characterizer {
             sim,
@@ -378,9 +380,10 @@ impl Characterizer {
                         .map(|(d, _)| d.as_ns() - (sat_r.as_ns() + eps))
                         .unwrap_or(-eps)
                 };
-                let sr = math::bisect(g_r, 0.0, far.as_ns(), self.config.skew_tol * 4.0)
-                    .unwrap_or(0.0);
-                let eps_l = (d0n - sat_l).as_ns().abs().max(1e-3) * self.config.knee_epsilon.max(0.1);
+                let sr =
+                    math::bisect(g_r, 0.0, far.as_ns(), self.config.skew_tol * 4.0).unwrap_or(0.0);
+                let eps_l =
+                    (d0n - sat_l).as_ns().abs().max(1e-3) * self.config.knee_epsilon.max(0.1);
                 let g_l = |s: f64| -> f64 {
                     self.measure_pair_nonctrl(i, j, t_i, t_j, Time::from_ns(s))
                         .map(|(d, _)| d.as_ns() - (sat_l.as_ns() + eps_l))
@@ -406,6 +409,7 @@ impl Characterizer {
 
     /// Locates a V-shape knee by bisecting `delay(δ) − (d_single − ε)` on
     /// the positive (`positive_side`) or negative skew axis.
+    #[allow(clippy::too_many_arguments)]
     fn find_knee(
         &self,
         i: usize,
@@ -574,7 +578,9 @@ mod tests {
         // Three parallel charge paths beat two.
         assert!(floor3 < floor2, "3-way {floor3} vs 2-way {floor2}");
         // And the 2-way floor beats single-switch.
-        let single = cell.pin_delay(cell.ctrl_out_edge(), 0, t, cell.ref_load()).unwrap();
+        let single = cell
+            .pin_delay(cell.ctrl_out_edge(), 0, t, cell.ref_load())
+            .unwrap();
         assert!(floor2 < single);
     }
 

@@ -38,7 +38,9 @@ impl Bound {
     /// [`CoreError::NotFinite`] when either endpoint is NaN.
     pub fn new(s: Time, l: Time) -> Result<Bound, CoreError> {
         if s.is_nan() || l.is_nan() {
-            return Err(CoreError::NotFinite { what: "bound endpoint" });
+            return Err(CoreError::NotFinite {
+                what: "bound endpoint",
+            });
         }
         if s > l {
             return Err(CoreError::InvertedBound {

@@ -248,9 +248,18 @@ mod tests {
 
     #[test]
     fn shapes() {
-        assert_eq!(s(&[0., 1., 2.], &[1., 1., 1.]).shape(1e-9), CurveShape::Constant);
-        assert_eq!(s(&[0., 1., 2.], &[0., 1., 2.]).shape(1e-9), CurveShape::Increasing);
-        assert_eq!(s(&[0., 1., 2.], &[2., 1., 0.]).shape(1e-9), CurveShape::Decreasing);
+        assert_eq!(
+            s(&[0., 1., 2.], &[1., 1., 1.]).shape(1e-9),
+            CurveShape::Constant
+        );
+        assert_eq!(
+            s(&[0., 1., 2.], &[0., 1., 2.]).shape(1e-9),
+            CurveShape::Increasing
+        );
+        assert_eq!(
+            s(&[0., 1., 2.], &[2., 1., 0.]).shape(1e-9),
+            CurveShape::Decreasing
+        );
         assert_eq!(
             s(&[0., 1., 2., 3.], &[0., 2., 1., 0.]).shape(1e-9),
             CurveShape::RiseFall

@@ -123,7 +123,11 @@ impl Transition {
             ttime.is_finite() && ttime > Time::ZERO,
             "transition time must be positive and finite, got {ttime}"
         );
-        Transition { edge, arrival, ttime }
+        Transition {
+            edge,
+            arrival,
+            ttime,
+        }
     }
 
     /// Skew `δ = A_other − A_self` (positive when `other` lags).

@@ -68,7 +68,11 @@ impl VShape {
                 reason: "knees must bracket the vertex skew",
             });
         }
-        Ok(VShape { left, vertex, right })
+        Ok(VShape {
+            left,
+            vertex,
+            right,
+        })
     }
 
     /// A degenerate V-shape that is constant at `value` (used when only a
@@ -150,9 +154,11 @@ impl VShape {
     }
 
     fn candidates(&self, skews: Bound) -> impl Iterator<Item = Time> + '_ {
-        [skews.s(), skews.l()]
-            .into_iter()
-            .chain(self.breakpoints().into_iter().filter(move |b| skews.contains(*b)))
+        [skews.s(), skews.l()].into_iter().chain(
+            self.breakpoints()
+                .into_iter()
+                .filter(move |b| skews.contains(*b)),
+        )
     }
 
     fn extremum_over(&self, skews: Bound, pick: fn(Time, Time) -> Time, init: Time) -> Time {
@@ -182,7 +188,12 @@ mod tests {
     }
 
     fn sample() -> VShape {
-        VShape::new((ns(-0.25), ns(0.30)), (ns(0.0), ns(0.17)), (ns(0.25), ns(0.30))).unwrap()
+        VShape::new(
+            (ns(-0.25), ns(0.30)),
+            (ns(0.0), ns(0.17)),
+            (ns(0.25), ns(0.30)),
+        )
+        .unwrap()
     }
 
     #[test]

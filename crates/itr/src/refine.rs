@@ -1,12 +1,28 @@
 //! The ITR window recomputation (Section 5.2).
+//!
+//! Two entry points compute the same refined windows:
+//!
+//! * [`Itr::refine`] — the production path. It maps the two-frame logic
+//!   states onto per-net [`Participation`] and hands them to the shared
+//!   [`IncrementalSta`] engine, which recomputes only the dirty cone of
+//!   nets whose participation changed since the previous call (plus
+//!   memoizes repeated per-gate states across backtracks).
+//! * [`Itr::refine_full`] — a straight-line full recompute with no state
+//!   reuse. This is the oracle the incremental path is tested against:
+//!   results must be **bit-identical**.
+//!
+//! Both paths run logic implication first, so a single call sees the full
+//! transitive consequences of the caller's assignments.
+
+use std::cell::RefCell;
 
 use ssdm_cells::CellLibrary;
 use ssdm_core::{Bound, Edge, Time};
 use ssdm_logic::{imply, Assignments, TransState};
 use ssdm_netlist::{Circuit, GateType, NetId};
 use ssdm_sta::{
-    stage_plan, stage_windows, DelaysUsed, LineTiming, Participation, PinWindow, Sta, StaConfig,
-    TimingView,
+    stage_plan, stage_windows, DelaysUsed, IncrementalSta, IncrementalStats, LineTiming,
+    Participation, ParticipationMap, PinWindow, Sta, StaConfig, TimingView,
 };
 
 use crate::error::ItrError;
@@ -17,6 +33,10 @@ pub struct Itr<'a> {
     circuit: &'a Circuit,
     library: &'a CellLibrary,
     config: StaConfig,
+    /// Lazily-built shared engine; interior mutability keeps
+    /// [`Itr::refine`] callable through `&self` (ATPG holds the refiner
+    /// by shared reference while mutating its own search state).
+    engine: RefCell<Option<IncrementalSta<'a>>>,
 }
 
 /// Refined timing windows under a partial two-frame assignment.
@@ -79,7 +99,23 @@ impl<'a> Itr<'a> {
             circuit,
             library,
             config,
+            engine: RefCell::new(None),
         }
+    }
+
+    /// Projects the full assignment state onto per-net edge participation —
+    /// the only channel through which logic influences timing, which is
+    /// what makes participation diffing a sound dirty-set seed.
+    fn participation_map(&self, assignments: &Assignments) -> ParticipationMap {
+        self.circuit
+            .topo()
+            .map(|id| {
+                [
+                    participation(assignments.state(id, Edge::Rise)),
+                    participation(assignments.state(id, Edge::Fall)),
+                ]
+            })
+            .collect()
     }
 
     /// Recomputes all timing windows under `assignments`.
@@ -89,11 +125,57 @@ impl<'a> Itr<'a> {
     /// participation. A line whose logic value forbids an edge loses that
     /// edge's window entirely.
     ///
+    /// Successive calls reuse the engine built on the first call: only the
+    /// fan-out cone of nets whose participation changed is re-evaluated,
+    /// and repeated per-gate states (common under ATPG backtracking) are
+    /// served from a memo cache. The result is guaranteed bit-identical to
+    /// [`Itr::refine_full`].
+    ///
     /// # Errors
     ///
     /// * [`ItrError::Logic`] — the assignment is self-inconsistent;
     /// * [`ItrError::Sta`] — cell lookup / propagation failure.
     pub fn refine(&self, assignments: &mut Assignments) -> Result<ItrResult, ItrError> {
+        imply(self.circuit, assignments)?;
+        let part = self.participation_map(assignments);
+        let mut slot = self.engine.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(IncrementalSta::new(
+                self.circuit,
+                self.library,
+                self.config.clone(),
+            )?);
+        }
+        let engine = slot.as_mut().expect("engine initialized above");
+        engine.refine(&part)?;
+        Ok(ItrResult {
+            lines: engine.lines().to_vec(),
+            used: engine.used().to_vec(),
+            inverting: engine.inverting().to_vec(),
+        })
+    }
+
+    /// Counters from the shared incremental engine (zeroes before the
+    /// first [`Itr::refine`] call).
+    pub fn stats(&self) -> IncrementalStats {
+        self.engine
+            .borrow()
+            .as_ref()
+            .map(|e| e.stats())
+            .unwrap_or_default()
+    }
+
+    /// Recomputes all timing windows from scratch, ignoring and not
+    /// touching any engine state.
+    ///
+    /// This is the reference implementation [`Itr::refine`] is verified
+    /// against (see `tests/properties.rs`), and the baseline the
+    /// `itr_incremental` benchmark compares to.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Itr::refine`].
+    pub fn refine_full(&self, assignments: &mut Assignments) -> Result<ItrResult, ItrError> {
         imply(self.circuit, assignments)?;
         let sta = Sta::new(self.circuit, self.library, self.config.clone());
         let loads = sta.net_loads()?;
@@ -218,6 +300,51 @@ mod tests {
     }
 
     #[test]
+    fn incremental_matches_full_recompute_bit_for_bit() {
+        // The core equivalence guarantee, on a non-trivial circuit with a
+        // backtracking-style assignment sequence.
+        let c = suite::synthetic("c880s").unwrap();
+        let itr = Itr::new(&c, library(), StaConfig::default());
+        let inputs = c.inputs().to_vec();
+        let mut a = Assignments::new(c.n_nets());
+        let snapshot = a.clone();
+        let steps = [
+            (0usize, V2::transition(Edge::Rise)),
+            (7, V2::steady(false)),
+            (13, V2::transition(Edge::Fall)),
+            (21, V2::steady(true)),
+        ];
+        for &(pi, v) in &steps {
+            a.set(inputs[pi], v).unwrap();
+            let inc = itr.refine(&mut a).unwrap();
+            let full = itr.refine_full(&mut a.clone()).unwrap();
+            for id in c.topo() {
+                assert_eq!(inc.line(id), full.line(id), "net {}", c.gate(id).name);
+            }
+            assert_eq!(inc.used, full.used);
+            assert_eq!(inc.inverting, full.inverting);
+        }
+        // Retract everything (PODEM backtrack) and check again.
+        a = snapshot;
+        let inc = itr.refine(&mut a).unwrap();
+        let full = itr.refine_full(&mut a.clone()).unwrap();
+        for id in c.topo() {
+            assert_eq!(
+                inc.line(id),
+                full.line(id),
+                "after retraction: net {}",
+                c.gate(id).name
+            );
+        }
+        let stats = itr.stats();
+        assert!(stats.incremental_passes >= 4, "stats: {stats:?}");
+        assert!(
+            stats.memo_hits > 0,
+            "backtrack should hit the memo: {stats:?}"
+        );
+    }
+
+    #[test]
     fn windows_shrink_monotonically_as_values_are_assigned() {
         let c = suite::c17();
         let itr = Itr::new(&c, library(), StaConfig::default());
@@ -236,7 +363,8 @@ mod tests {
             let next = itr.refine(&mut a).unwrap();
             for id in c.topo() {
                 assert!(
-                    prev.line(id).refined_by_within(next.line(id), Time::from_ps(2.0)),
+                    prev.line(id)
+                        .refined_by_within(next.line(id), Time::from_ps(2.0)),
                     "step {idx}: net {} widened: {:?} -> {:?}",
                     c.gate(id).name,
                     prev.line(id),
@@ -260,7 +388,11 @@ mod tests {
         let r = itr.refine(&mut a).unwrap();
         for id in c.topo() {
             let lt = r.line(id);
-            assert!(lt.rise.is_none(), "net {} keeps a rise window", c.gate(id).name);
+            assert!(
+                lt.rise.is_none(),
+                "net {} keeps a rise window",
+                c.gate(id).name
+            );
             assert!(lt.fall.is_none());
         }
     }
@@ -268,8 +400,10 @@ mod tests {
     #[test]
     fn fully_specified_vectors_collapse_windows() {
         let c = suite::c17();
-        let mut cfg = StaConfig::default();
-        cfg.pi_ttime = Bound::point(Time::from_ns(0.3));
+        let cfg = StaConfig {
+            pi_ttime: Bound::point(Time::from_ns(0.3)),
+            ..StaConfig::default()
+        };
         let itr = Itr::new(&c, library(), cfg.clone());
         let mut a = Assignments::new(c.n_nets());
         // A vector pair that launches transitions: all inputs fall.
@@ -283,7 +417,13 @@ mod tests {
         // points"; ours collapse to near-points, limited by the
         // transition-time upper bound kept on max corners).
         let o22 = c.find("22").unwrap();
-        let sta_w = sta.line(o22).rise.or(sta.line(o22).fall).unwrap().arrival.width();
+        let sta_w = sta
+            .line(o22)
+            .rise
+            .or(sta.line(o22).fall)
+            .unwrap()
+            .arrival
+            .width();
         let itr_lt = r.line(o22);
         let itr_w = itr_lt
             .rise
@@ -330,9 +470,6 @@ mod tests {
         }
         let o22 = c.find("22").unwrap();
         a.set(o22, V2::new(Tri::Zero, Tri::X)).unwrap();
-        assert!(matches!(
-            itr.refine(&mut a),
-            Err(ItrError::Logic(_))
-        ));
+        assert!(matches!(itr.refine(&mut a), Err(ItrError::Logic(_))));
     }
 }

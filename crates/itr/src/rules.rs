@@ -30,7 +30,11 @@ impl OptTarget {
         for arrival in [true, false] {
             for out_edge in [Edge::Fall, Edge::Rise] {
                 for smallest in [true, false] {
-                    out.push(OptTarget { arrival, out_edge, smallest });
+                    out.push(OptTarget {
+                        arrival,
+                        out_edge,
+                        smallest,
+                    });
                 }
             }
         }
@@ -67,13 +71,11 @@ pub struct Setting {
 /// output is the to-controlling case). Zero-valued states are resolved;
 /// non-zero states are never changed. An empty result means the target
 /// cannot be excited (no input may transition).
-pub fn implied_settings(
-    target: OptTarget,
-    to_controlling: bool,
-    s_x: i8,
-    s_y: i8,
-) -> Vec<Setting> {
-    assert!((-1..=1).contains(&s_x) && (-1..=1).contains(&s_y), "states are in {{-1,0,1}}");
+pub fn implied_settings(target: OptTarget, to_controlling: bool, s_x: i8, s_y: i8) -> Vec<Setting> {
+    assert!(
+        (-1..=1).contains(&s_x) && (-1..=1).contains(&s_y),
+        "states are in {{-1,0,1}}"
+    );
     // Does the extreme value prefer simultaneous switching? Simultaneous
     // to-controlling transitions *speed up* the output (smaller delay,
     // sharper edge); simultaneous to-non-controlling transitions make it
@@ -155,7 +157,11 @@ mod tests {
     use super::*;
 
     fn t(arrival: bool, out_edge: Edge, smallest: bool) -> OptTarget {
-        OptTarget { arrival, out_edge, smallest }
+        OptTarget {
+            arrival,
+            out_edge,
+            smallest,
+        }
     }
 
     #[test]

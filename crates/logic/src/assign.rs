@@ -19,7 +19,9 @@ pub struct Assignments {
 impl Assignments {
     /// All-`xx` store for `n` nets.
     pub fn new(n: usize) -> Assignments {
-        Assignments { values: vec![V2::XX; n] }
+        Assignments {
+            values: vec![V2::XX; n],
+        }
     }
 
     /// Number of nets.
@@ -76,7 +78,10 @@ impl Assignments {
 
     /// Count of fully specified nets — a cheap progress metric for search.
     pub fn n_specified(&self) -> usize {
-        self.values.iter().filter(|v| v.is_fully_specified()).count()
+        self.values
+            .iter()
+            .filter(|v| v.is_fully_specified())
+            .count()
     }
 
     /// Raw values (read-only).
@@ -114,7 +119,10 @@ mod tests {
         let mut a = Assignments::new(1);
         assert!(matches!(
             a.set(NetId(5), V2::XX),
-            Err(LogicError::BadNet { net: NetId(5), n: 1 })
+            Err(LogicError::BadNet {
+                net: NetId(5),
+                n: 1
+            })
         ));
     }
 

@@ -44,8 +44,11 @@ mod tests {
             LogicError::Conflict { net: NetId(3) }.to_string(),
             "value conflict at n3"
         );
-        assert!(LogicError::BadNet { net: NetId(9), n: 4 }
-            .to_string()
-            .contains("n9"));
+        assert!(LogicError::BadNet {
+            net: NetId(9),
+            n: 4
+        }
+        .to_string()
+        .contains("n9"));
     }
 }

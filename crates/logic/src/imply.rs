@@ -177,10 +177,8 @@ fn backward_frame(
                 }
                 match (n_unknown_or_cv, unknown) {
                     (0, _) => return Err(LogicError::Conflict { net: id }),
-                    (1, Some(f)) => {
-                        if set_frame(a, f, frame, Tri::from_bool(cv))? {
-                            changed.push(f);
-                        }
+                    (1, Some(f)) if set_frame(a, f, frame, Tri::from_bool(cv))? => {
+                        changed.push(f);
                     }
                     _ => {}
                 }
@@ -310,7 +308,10 @@ mod tests {
         }
         let o22 = c.find("22").unwrap();
         a.set(o22, V2::new(Tri::Zero, Tri::X)).unwrap();
-        assert!(matches!(imply(&c, &mut a), Err(LogicError::Conflict { .. })));
+        assert!(matches!(
+            imply(&c, &mut a),
+            Err(LogicError::Conflict { .. })
+        ));
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl Tri {
     }
 
     /// Three-valued NOT.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Tri {
         match self {
             Tri::Zero => Tri::One,
@@ -134,7 +135,10 @@ impl TransState {
 
 impl V2 {
     /// The fully unknown value `xx`.
-    pub const XX: V2 = V2 { first: Tri::X, second: Tri::X };
+    pub const XX: V2 = V2 {
+        first: Tri::X,
+        second: Tri::X,
+    };
 
     /// Creates a value from frame values.
     pub fn new(first: Tri, second: Tri) -> V2 {
@@ -144,7 +148,10 @@ impl V2 {
     /// Steady at a constant logic level (`00` or `11`).
     pub fn steady(level: bool) -> V2 {
         let v = Tri::from_bool(level);
-        V2 { first: v, second: v }
+        V2 {
+            first: v,
+            second: v,
+        }
     }
 
     /// A definite transition (`01` for rise, `10` for fall).
@@ -171,7 +178,10 @@ impl V2 {
             'x' | 'X' => Some(Tri::X),
             _ => None,
         };
-        Some(V2 { first: tri(f)?, second: tri(g)? })
+        Some(V2 {
+            first: tri(f)?,
+            second: tri(g)?,
+        })
     }
 
     /// True when both frames are known.

@@ -278,7 +278,9 @@ mod tests {
     fn pin_to_pin_single_matches_cell_table() {
         let cell = nand2();
         let m = PinToPinModel::new();
-        let r = m.response(cell, &[(0, fall(1.0, 0.5))], cell.ref_load()).unwrap();
+        let r = m
+            .response(cell, &[(0, fall(1.0, 0.5))], cell.ref_load())
+            .unwrap();
         let d = cell
             .pin_delay(Edge::Rise, 0, Time::from_ns(0.5), cell.ref_load())
             .unwrap();
@@ -289,9 +291,15 @@ mod tests {
     fn pin_to_pin_ignores_simultaneous_speedup() {
         let cell = nand2();
         let m = PinToPinModel::new();
-        let single = m.response(cell, &[(0, fall(1.0, 0.5))], cell.ref_load()).unwrap();
+        let single = m
+            .response(cell, &[(0, fall(1.0, 0.5))], cell.ref_load())
+            .unwrap();
         let both = m
-            .response(cell, &[(0, fall(1.0, 0.5)), (1, fall(1.0, 0.5))], cell.ref_load())
+            .response(
+                cell,
+                &[(0, fall(1.0, 0.5)), (1, fall(1.0, 0.5))],
+                cell.ref_load(),
+            )
             .unwrap();
         // The blind spot: simultaneous switching is no faster than the
         // faster single pin.
@@ -309,9 +317,15 @@ mod tests {
     fn jun_captures_zero_skew_speedup() {
         let cell = nand2();
         let jun = JunModel::default();
-        let single = jun.response(cell, &[(0, fall(1.0, 0.5))], cell.ref_load()).unwrap();
+        let single = jun
+            .response(cell, &[(0, fall(1.0, 0.5))], cell.ref_load())
+            .unwrap();
         let both = jun
-            .response(cell, &[(0, fall(1.0, 0.5)), (1, fall(1.0, 0.5))], cell.ref_load())
+            .response(
+                cell,
+                &[(0, fall(1.0, 0.5)), (1, fall(1.0, 0.5))],
+                cell.ref_load(),
+            )
             .unwrap();
         assert!(
             both.arrival < single.arrival,
@@ -325,9 +339,15 @@ mod tests {
     fn jun_fails_to_saturate_at_large_skew() {
         let cell = nand2();
         let jun = JunModel::default();
-        let single = jun.response(cell, &[(0, fall(1.0, 0.5))], cell.ref_load()).unwrap();
+        let single = jun
+            .response(cell, &[(0, fall(1.0, 0.5))], cell.ref_load())
+            .unwrap();
         let skewed = jun
-            .response(cell, &[(0, fall(1.0, 0.5)), (1, fall(4.0, 0.5))], cell.ref_load())
+            .response(
+                cell,
+                &[(0, fall(1.0, 0.5)), (1, fall(4.0, 0.5))],
+                cell.ref_load(),
+            )
             .unwrap();
         // The documented blind spot: still predicts the combined-drive
         // (fast) delay even though the second transition is far away.
@@ -375,8 +395,12 @@ mod tests {
                 .unwrap()
         });
         let jun = JunModel::default();
-        let near = jun.response(cell, &[(0, fall(1.0, 0.5))], cell.ref_load()).unwrap();
-        let far = jun.response(cell, &[(2, fall(1.0, 0.5))], cell.ref_load()).unwrap();
+        let near = jun
+            .response(cell, &[(0, fall(1.0, 0.5))], cell.ref_load())
+            .unwrap();
+        let far = jun
+            .response(cell, &[(2, fall(1.0, 0.5))], cell.ref_load())
+            .unwrap();
         assert_eq!(near.arrival, far.arrival, "collapse erases position");
         let d_near = cell
             .pin_delay(Edge::Rise, 0, Time::from_ns(0.5), cell.ref_load())

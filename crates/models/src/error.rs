@@ -60,7 +60,9 @@ mod tests {
 
     #[test]
     fn displays_and_sources() {
-        let e = ModelError::BadStimulus { reason: "mixed edges".into() };
+        let e = ModelError::BadStimulus {
+            reason: "mixed edges".into(),
+        };
         assert!(e.to_string().contains("mixed edges"));
         assert!(Error::source(&e).is_none());
         let e = ModelError::from(SpiceError::NoCrossing { level: 0.5 });

@@ -69,9 +69,11 @@ pub fn classify<'a>(
     cell: &CharacterizedGate,
     switching: &'a [(usize, Transition)],
 ) -> Result<Stimulus<'a>, ModelError> {
-    let (first, rest) = switching.split_first().ok_or_else(|| ModelError::BadStimulus {
-        reason: "no switching inputs".into(),
-    })?;
+    let (first, rest) = switching
+        .split_first()
+        .ok_or_else(|| ModelError::BadStimulus {
+            reason: "no switching inputs".into(),
+        })?;
     let in_edge = first.1.edge;
     if rest.iter().any(|(_, t)| t.edge != in_edge) {
         return Err(ModelError::BadStimulus {
@@ -91,13 +93,12 @@ pub fn classify<'a>(
         }
     }
     // The inverter is a degenerate case: both directions behave alike.
-    let class = if cell.kind() == GateKind::Inv
-        || in_edge.to_value() == cell.kind().controlling_value()
-    {
-        SwitchClass::ToControlling
-    } else {
-        SwitchClass::ToNonControlling
-    };
+    let class =
+        if cell.kind() == GateKind::Inv || in_edge.to_value() == cell.kind().controlling_value() {
+            SwitchClass::ToControlling
+        } else {
+            SwitchClass::ToNonControlling
+        };
     Ok(Stimulus {
         switching,
         in_edge,

@@ -79,20 +79,18 @@ impl DelayModel for ProposedModel {
                         if pin == w_pin {
                             continue;
                         }
-                        if let Ok(v) = cell.vshape_nonctrl_delay(
-                            w_pin, pin, w_tr.ttime, tr.ttime, load,
-                        ) {
+                        if let Ok(v) =
+                            cell.vshape_nonctrl_delay(w_pin, pin, w_tr.ttime, tr.ttime, load)
+                        {
                             let skew = tr.arrival - w_tr.arrival;
                             // Bump relative to the winner's own saturated
                             // (single-switch) flank at δ → −∞ (the
                             // companion leads the winner).
                             let flank = v.left_knee().1;
                             let bump = (v.eval(skew) - flank).max(Time::ZERO);
-                            arrival = arrival + bump;
+                            arrival += bump;
                         }
-                        if let Ok(tpk) =
-                            cell.nonctrl_ttime_peak(w_pin, pin, w_tr.ttime, tr.ttime)
-                        {
+                        if let Ok(tpk) = cell.nonctrl_ttime_peak(w_pin, pin, w_tr.ttime, tr.ttime) {
                             let skew = tr.arrival - w_tr.arrival;
                             if let Ok(v) =
                                 cell.vshape_nonctrl_delay(w_pin, pin, w_tr.ttime, tr.ttime, load)
@@ -116,6 +114,8 @@ impl DelayModel for ProposedModel {
 }
 
 impl ProposedModel {
+    // "to-controlling" is the paper's transition class, not a conversion.
+    #[allow(clippy::wrong_self_convention)]
     fn to_controlling(
         &self,
         cell: &CharacterizedGate,
@@ -249,7 +249,13 @@ mod tests {
             )
             .unwrap();
         let v = cell
-            .vshape_delay(0, 1, Time::from_ns(0.5), Time::from_ns(0.5), cell.ref_load())
+            .vshape_delay(
+                0,
+                1,
+                Time::from_ns(0.5),
+                Time::from_ns(0.5),
+                cell.ref_load(),
+            )
             .unwrap();
         let d = r.arrival - Time::from_ns(1.0);
         assert!(
@@ -336,9 +342,7 @@ mod tests {
         let base = ProposedModel::new();
         let ext = ProposedModel::with_miller();
         let reference = SpiceReference::default();
-        let rise = |a: f64, t: f64| {
-            Transition::new(Edge::Rise, Time::from_ns(a), Time::from_ns(t))
-        };
+        let rise = |a: f64, t: f64| Transition::new(Edge::Rise, Time::from_ns(a), Time::from_ns(t));
         let stim = [(0usize, rise(2.0, 0.8)), (1usize, rise(2.0, 0.8))];
         let truth = reference.response(cell, &stim, cell.ref_load()).unwrap();
         let rb = base.response(cell, &stim, cell.ref_load()).unwrap();

@@ -84,10 +84,7 @@ impl Circuit {
 
     /// Looks up a net by name.
     pub fn find(&self, name: &str) -> Option<NetId> {
-        self.gates
-            .iter()
-            .position(|g| g.name == name)
-            .map(NetId)
+        self.gates.iter().position(|g| g.name == name).map(NetId)
     }
 
     /// True when `net` is a primary input.

@@ -55,7 +55,10 @@ pub fn coupling_sites(circuit: &Circuit, count: usize, seed: u64) -> Vec<Crossta
         if circuit.gate(v).fanin.contains(&a) || circuit.gate(a).fanin.contains(&v) {
             continue;
         }
-        let site = CrosstalkSite { aggressor: a, victim: v };
+        let site = CrosstalkSite {
+            aggressor: a,
+            victim: v,
+        };
         if !sites.contains(&site) {
             sites.push(site);
         }

@@ -54,7 +54,9 @@ impl fmt::Display for NetlistError {
             }
             NetlistError::Cyclic { name } => write!(f, "combinational cycle through {name:?}"),
             NetlistError::UnknownOutput { name } => write!(f, "output {name:?} is undefined"),
-            NetlistError::Parse { line, reason } => write!(f, "parse error at line {line}: {reason}"),
+            NetlistError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
             NetlistError::Empty => write!(f, "circuit has no gates or no outputs"),
         }
     }
@@ -68,10 +70,18 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert!(NetlistError::UnknownNet { name: "x".into() }.to_string().contains("x"));
-        assert!(NetlistError::Parse { line: 3, reason: "junk".into() }
+        assert!(NetlistError::UnknownNet { name: "x".into() }
             .to_string()
-            .contains("line 3"));
-        assert_eq!(NetlistError::Empty.to_string(), "circuit has no gates or no outputs");
+            .contains("x"));
+        assert!(NetlistError::Parse {
+            line: 3,
+            reason: "junk".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert_eq!(
+            NetlistError::Empty.to_string(),
+            "circuit has no gates or no outputs"
+        );
     }
 }

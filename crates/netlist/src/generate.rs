@@ -39,7 +39,13 @@ pub struct GeneratorConfig {
 impl GeneratorConfig {
     /// A reasonable default for an ISCAS85-class circuit of `n_gates`
     /// gates.
-    pub fn iscas_like(name: impl Into<String>, n_inputs: usize, n_outputs: usize, n_gates: usize, seed: u64) -> GeneratorConfig {
+    pub fn iscas_like(
+        name: impl Into<String>,
+        n_inputs: usize,
+        n_outputs: usize,
+        n_gates: usize,
+        seed: u64,
+    ) -> GeneratorConfig {
         GeneratorConfig {
             name: name.into(),
             n_inputs,

@@ -1,7 +1,7 @@
 //! Transistor-level circuit description.
 
 use crate::error::SpiceError;
-use crate::mosfet::{Mosfet, MosType};
+use crate::mosfet::{MosType, Mosfet};
 use crate::process::Process;
 
 /// A circuit node.
@@ -81,7 +81,10 @@ impl Circuit {
         for t in &transistors {
             if t.gate_pin >= n_inputs {
                 return Err(SpiceError::BadCircuit {
-                    reason: format!("gate pin {} out of range (n_inputs = {n_inputs})", t.gate_pin),
+                    reason: format!(
+                        "gate pin {} out of range (n_inputs = {n_inputs})",
+                        t.gate_pin
+                    ),
                 });
             }
             for node in [t.drain, t.source] {
@@ -90,7 +93,9 @@ impl Circuit {
                     Node::Internal(i) => {
                         if i >= n_internal {
                             return Err(SpiceError::BadCircuit {
-                                reason: format!("internal node {i} out of range (n_internal = {n_internal})"),
+                                reason: format!(
+                                    "internal node {i} out of range (n_internal = {n_internal})"
+                                ),
                             });
                         }
                         internal_touch[i] += 1;
@@ -201,7 +206,9 @@ impl Circuit {
                 MosType::N => &process.nmos,
                 MosType::P => &process.pmos,
             };
-            let i_ds = t.mos.current(params, vins[t.gate_pin], volt(t.drain), volt(t.source));
+            let i_ds = t
+                .mos
+                .current(params, vins[t.gate_pin], volt(t.drain), volt(t.source));
             // i_ds flows out of the drain node and into the source node.
             if let Some(i) = t.drain.state_index() {
                 into[i] -= i_ds;
@@ -216,7 +223,7 @@ impl Circuit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::mosfet::{Mosfet, MosType};
+    use crate::mosfet::{MosType, Mosfet};
 
     fn inv() -> Circuit {
         Circuit::new(

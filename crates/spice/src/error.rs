@@ -57,8 +57,12 @@ mod tests {
             SpiceError::NoCrossing { level: 0.5 }.to_string(),
             "output never crossed 50% of vdd"
         );
-        assert!(SpiceError::Diverged { at_ns: 1.5 }.to_string().contains("1.5ns"));
-        let e = SpiceError::BadStimulus { reason: "pin count".into() };
+        assert!(SpiceError::Diverged { at_ns: 1.5 }
+            .to_string()
+            .contains("1.5ns"));
+        let e = SpiceError::BadStimulus {
+            reason: "pin count".into(),
+        };
         assert!(e.to_string().contains("pin count"));
     }
 

@@ -8,7 +8,7 @@ use std::fmt;
 
 use crate::circuit::{Circuit, Node, Transistor};
 use crate::error::SpiceError;
-use crate::mosfet::{Mosfet, MosType};
+use crate::mosfet::{MosType, Mosfet};
 
 /// Primitive CMOS gate topologies with a transistor-level template.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -130,7 +130,11 @@ pub fn build(kind: GateKind, n: usize, wn_um: f64, wp_um: f64) -> Result<Circuit
 /// position `p` (0 nearest the output) is gated by pin `p`.
 fn push_stack(ts: &mut Vec<Transistor>, mtype: MosType, w_um: f64, n: usize, rail: Node) {
     for p in 0..n {
-        let upper = if p == 0 { Node::Out } else { Node::Internal(p - 1) };
+        let upper = if p == 0 {
+            Node::Out
+        } else {
+            Node::Internal(p - 1)
+        };
         let lower = if p == n - 1 { rail } else { Node::Internal(p) };
         ts.push(Transistor {
             mos: Mosfet::new(mtype, w_um),

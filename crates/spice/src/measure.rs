@@ -116,8 +116,14 @@ impl GateSim {
     ///
     /// Panics if `n == 0`.
     pub fn nand(n: usize) -> GateSim {
-        GateSim::new(GateKind::Nand, n, Self::DEFAULT_WN_UM, Self::DEFAULT_WP_UM, Process::p05um())
-            .expect("n >= 1 required")
+        GateSim::new(
+            GateKind::Nand,
+            n,
+            Self::DEFAULT_WN_UM,
+            Self::DEFAULT_WP_UM,
+            Process::p05um(),
+        )
+        .expect("n >= 1 required")
     }
 
     /// An `n`-input minimum-size NOR in the default process.
@@ -126,14 +132,26 @@ impl GateSim {
     ///
     /// Panics if `n == 0`.
     pub fn nor(n: usize) -> GateSim {
-        GateSim::new(GateKind::Nor, n, Self::DEFAULT_WN_UM, Self::DEFAULT_WP_UM, Process::p05um())
-            .expect("n >= 1 required")
+        GateSim::new(
+            GateKind::Nor,
+            n,
+            Self::DEFAULT_WN_UM,
+            Self::DEFAULT_WP_UM,
+            Process::p05um(),
+        )
+        .expect("n >= 1 required")
     }
 
     /// A minimum-size inverter in the default process.
     pub fn inv() -> GateSim {
-        GateSim::new(GateKind::Inv, 1, Self::DEFAULT_WN_UM, Self::DEFAULT_WP_UM, Process::p05um())
-            .expect("inverter is always valid")
+        GateSim::new(
+            GateKind::Inv,
+            1,
+            Self::DEFAULT_WN_UM,
+            Self::DEFAULT_WP_UM,
+            Process::p05um(),
+        )
+        .expect("inverter is always valid")
     }
 
     /// The gate kind.
@@ -208,7 +226,10 @@ impl GateSim {
         let out_edge = if out1 { Edge::Rise } else { Edge::Fall };
 
         let transitions: Vec<Transition> = pins.iter().filter_map(|p| p.transition()).collect();
-        debug_assert!(!transitions.is_empty(), "output switched without input transitions");
+        debug_assert!(
+            !transitions.is_empty(),
+            "output switched without input transitions"
+        );
         let earliest_start = transitions
             .iter()
             .map(|t| t.start())
@@ -227,13 +248,17 @@ impl GateSim {
             .fold(Time::INFINITY, Time::min);
 
         let t0 = earliest_start - Time::from_ns(0.5);
-        let t1 = latest_end
-            + Time::from_ns(4.0)
-            + max_tt * 2.0
-            + Time::from_ns(0.03 * load.as_ff());
+        let t1 =
+            latest_end + Time::from_ns(4.0) + max_tt * 2.0 + Time::from_ns(0.03 * load.as_ff());
 
         let waves: Vec<InputWave> = pins.iter().map(|p| p.wave()).collect();
-        let transient = Transient::new(&self.circuit, &self.process, waves, load.as_ff(), self.config)?;
+        let transient = Transient::new(
+            &self.circuit,
+            &self.process,
+            waves,
+            load.as_ff(),
+            self.config,
+        )?;
         let trace = transient.run(t0, t1)?;
 
         let vdd = self.process.vdd.as_volts();
@@ -287,14 +312,21 @@ mod tests {
     use super::*;
 
     fn fall(arr: f64, tt: f64) -> PinState {
-        PinState::Switch(Transition::new(Edge::Fall, Time::from_ns(arr), Time::from_ns(tt)))
+        PinState::Switch(Transition::new(
+            Edge::Fall,
+            Time::from_ns(arr),
+            Time::from_ns(tt),
+        ))
     }
 
     #[test]
     fn nand2_single_fall_makes_output_rise() {
         let sim = GateSim::nand(2);
         let m = sim
-            .measure(&[fall(1.0, 0.5), PinState::Steady(true)], sim.inverter_load())
+            .measure(
+                &[fall(1.0, 0.5), PinState::Steady(true)],
+                sim.inverter_load(),
+            )
             .unwrap();
         assert_eq!(m.out_edge, Edge::Rise);
         assert!(m.delay > Time::ZERO, "delay = {}", m.delay);
@@ -311,7 +343,9 @@ mod tests {
         let single = sim
             .measure(&[fall(1.0, 0.5), PinState::Steady(true)], load)
             .unwrap();
-        let both = sim.measure(&[fall(1.0, 0.5), fall(1.0, 0.5)], load).unwrap();
+        let both = sim
+            .measure(&[fall(1.0, 0.5), fall(1.0, 0.5)], load)
+            .unwrap();
         assert!(
             both.delay < single.delay * 0.8,
             "simultaneous {} vs single {}",
@@ -329,7 +363,9 @@ mod tests {
             .unwrap();
         // Y lags by 3 ns: the output has long risen; delay (from earliest
         // arrival, which is X) equals the pin-to-pin delay.
-        let skewed = sim.measure(&[fall(1.0, 0.5), fall(4.0, 0.5)], load).unwrap();
+        let skewed = sim
+            .measure(&[fall(1.0, 0.5), fall(4.0, 0.5)], load)
+            .unwrap();
         let diff = (skewed.delay - single.delay).abs();
         assert!(diff < Time::from_ps(10.0), "diff = {diff}");
     }
@@ -372,7 +408,10 @@ mod tests {
     fn rejects_non_switching_stimulus() {
         let sim = GateSim::nand(2);
         // X falls but Y is 0: output stays 1.
-        let r = sim.measure(&[fall(1.0, 0.5), PinState::Steady(false)], sim.inverter_load());
+        let r = sim.measure(
+            &[fall(1.0, 0.5), PinState::Steady(false)],
+            sim.inverter_load(),
+        );
         assert!(matches!(r, Err(SpiceError::BadStimulus { .. })));
     }
 

@@ -227,7 +227,10 @@ mod tests {
 
     #[test]
     fn pmos_mirrors_nmos() {
-        let p = MosParams { vth: 0.8, ..nparams() };
+        let p = MosParams {
+            vth: 0.8,
+            ..nparams()
+        };
         let m = Mosfet::new(MosType::P, 2.0);
         // Gate at 0, source at vdd, drain low: strong conduction, current
         // flows source→drain, i.e. negative from drain to source... the

@@ -152,11 +152,13 @@ impl<'a> Transient<'a> {
         let mut vins = Vec::with_capacity(self.inputs.len());
         self.input_voltages(teff, &mut vins);
         let mut current = vec![0.0; n];
-        self.circuit.channel_currents(self.process, state, &vins, &mut current);
+        self.circuit
+            .channel_currents(self.process, state, &vins, &mut current);
         if frozen_t.is_none() {
             let mut slopes = Vec::with_capacity(self.inputs.len());
             self.input_slopes(t, &mut slopes);
-            self.circuit.miller_injection(self.process, &slopes, &mut current);
+            self.circuit
+                .miller_injection(self.process, &slopes, &mut current);
         }
         for i in 0..n {
             dvdt[i] = current[i] / self.caps[i];
@@ -220,14 +222,26 @@ mod tests {
     fn inverter_static_levels() {
         let c = inv_circuit();
         let p = Process::p05um();
-        let tr = Transient::new(&c, &p, vec![InputWave::Steady(true)], 10.0, TransientConfig::default())
-            .unwrap();
+        let tr = Transient::new(
+            &c,
+            &p,
+            vec![InputWave::Steady(true)],
+            10.0,
+            TransientConfig::default(),
+        )
+        .unwrap();
         let trace = tr.run(Time::ZERO, Time::from_ns(1.0)).unwrap();
         // Input high → output settled low.
         assert!(trace.volts().last().unwrap().abs() < 0.05);
 
-        let tr2 = Transient::new(&c, &p, vec![InputWave::Steady(false)], 10.0, TransientConfig::default())
-            .unwrap();
+        let tr2 = Transient::new(
+            &c,
+            &p,
+            vec![InputWave::Steady(false)],
+            10.0,
+            TransientConfig::default(),
+        )
+        .unwrap();
         let trace2 = tr2.run(Time::ZERO, Time::from_ns(1.0)).unwrap();
         assert!((trace2.volts().last().unwrap() - 3.3).abs() < 0.05);
     }
@@ -244,11 +258,18 @@ mod tests {
         let tr = Transient::new(&c, &p, vec![stim], 10.0, TransientConfig::default()).unwrap();
         let trace = tr.run(Time::ZERO, Time::from_ns(4.0)).unwrap();
         // Starts high, ends low.
-        assert!((trace.volts()[0] - 3.3).abs() < 0.05, "v0 = {}", trace.volts()[0]);
+        assert!(
+            (trace.volts()[0] - 3.3).abs() < 0.05,
+            "v0 = {}",
+            trace.volts()[0]
+        );
         assert!(trace.volts().last().unwrap().abs() < 0.05);
         // Output falls through 50% after the input's arrival.
         let t50 = trace.last_crossing(1.65, Edge::Fall).unwrap();
-        assert!(t50 > Time::from_ns(1.0) && t50 < Time::from_ns(1.6), "t50 = {t50}");
+        assert!(
+            t50 > Time::from_ns(1.0) && t50 < Time::from_ns(1.6),
+            "t50 = {t50}"
+        );
     }
 
     #[test]
@@ -274,8 +295,14 @@ mod tests {
     fn trace_is_recorded_densely() {
         let c = inv_circuit();
         let p = Process::p05um();
-        let tr = Transient::new(&c, &p, vec![InputWave::Steady(false)], 10.0, TransientConfig::default())
-            .unwrap();
+        let tr = Transient::new(
+            &c,
+            &p,
+            vec![InputWave::Steady(false)],
+            10.0,
+            TransientConfig::default(),
+        )
+        .unwrap();
         let trace = tr.run(Time::ZERO, Time::from_ns(1.0)).unwrap();
         assert!(trace.len() > 100);
     }

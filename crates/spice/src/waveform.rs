@@ -28,9 +28,17 @@ impl InputWave {
                 let end = tr.end();
                 let v = vdd.as_volts();
                 if t <= start {
-                    if tr.edge == Edge::Rise { 0.0 } else { v }
+                    if tr.edge == Edge::Rise {
+                        0.0
+                    } else {
+                        v
+                    }
                 } else if t >= end {
-                    if tr.edge == Edge::Rise { v } else { 0.0 }
+                    if tr.edge == Edge::Rise {
+                        v
+                    } else {
+                        0.0
+                    }
                 } else {
                     let frac = (t - start) / (end - start);
                     if tr.edge == Edge::Rise {
@@ -55,7 +63,11 @@ impl InputWave {
                     0.0
                 } else {
                     let rate = vdd.as_volts() / (end - start).as_ns();
-                    if tr.edge == Edge::Rise { rate } else { -rate }
+                    if tr.edge == Edge::Rise {
+                        rate
+                    } else {
+                        -rate
+                    }
                 }
             }
         }
@@ -109,7 +121,10 @@ impl Trace {
     /// Panics if `t` does not strictly increase.
     pub fn push(&mut self, t: Time, v: f64) {
         if let Some(&last) = self.times.last() {
-            assert!(t.as_ns() > last, "trace samples must strictly increase in time");
+            assert!(
+                t.as_ns() > last,
+                "trace samples must strictly increase in time"
+            );
         }
         self.times.push(t.as_ns());
         self.volts.push(v);
@@ -181,7 +196,9 @@ impl Trace {
                 found = Some(self.times[i - 1] + f * (self.times[i] - self.times[i - 1]));
             }
         }
-        found.map(Time::from_ns).ok_or(SpiceError::NoCrossing { level })
+        found
+            .map(Time::from_ns)
+            .ok_or(SpiceError::NoCrossing { level })
     }
 
     /// 10 %–90 % transition time around the final swing of the waveform in
@@ -190,7 +207,12 @@ impl Trace {
     /// # Errors
     ///
     /// Returns [`SpiceError::NoCrossing`] if either level is not crossed.
-    pub fn transition_time(&self, lo_level: f64, hi_level: f64, edge: Edge) -> Result<Time, SpiceError> {
+    pub fn transition_time(
+        &self,
+        lo_level: f64,
+        hi_level: f64,
+        edge: Edge,
+    ) -> Result<Time, SpiceError> {
         let (first, second) = match edge {
             Edge::Rise => (lo_level, hi_level),
             Edge::Fall => (hi_level, lo_level),

@@ -33,12 +33,22 @@ fn cache_path(full: bool) -> PathBuf {
 }
 
 fn load_library(full: bool) -> Result<CellLibrary, Box<dyn std::error::Error>> {
-    let config = if full { CharConfig::full() } else { CharConfig::fast() };
-    Ok(CellLibrary::load_or_characterize_standard(&cache_path(full), &config)?)
+    let config = if full {
+        CharConfig::full()
+    } else {
+        CharConfig::fast()
+    };
+    Ok(CellLibrary::load_or_characterize_standard(
+        &cache_path(full),
+        &config,
+    )?)
 }
 
 fn load_circuit(path: &str) -> Result<Circuit, Box<dyn std::error::Error>> {
-    if let Some(c) = (path == "c17").then(suite::c17).or_else(|| suite::synthetic(path)) {
+    if let Some(c) = (path == "c17")
+        .then(suite::c17)
+        .or_else(|| suite::synthetic(path))
+    {
         return Ok(c);
     }
     let text = std::fs::read_to_string(path)?;
@@ -55,7 +65,11 @@ fn cmd_sta(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let full = args.iter().any(|a| a == "--full-lib");
     let circuit = load_circuit(path)?;
     let lib = load_library(full)?;
-    let model = if pin_to_pin { ModelKind::PinToPin } else { ModelKind::Proposed };
+    let model = if pin_to_pin {
+        ModelKind::PinToPin
+    } else {
+        ModelKind::Proposed
+    };
     let result = Sta::new(&circuit, &lib, StaConfig::default().with_model(model)).run()?;
     print!("{}", timing_report(&circuit, &result));
     println!();
@@ -74,7 +88,10 @@ fn cmd_gen(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         suite::c17()
     } else {
         suite::synthetic(name).ok_or_else(|| {
-            format!("unknown suite member {name:?}; try: {}", suite::suite_names().join(", "))
+            format!(
+                "unknown suite member {name:?}; try: {}",
+                suite::suite_names().join(", ")
+            )
         })?
     };
     print!("{}", ssdm::netlist::write_bench(&circuit));
@@ -82,7 +99,9 @@ fn cmd_gen(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn cmd_atpg(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let path = args.first().ok_or("usage: ssdm-cli atpg <netlist.bench> <n_faults>")?;
+    let path = args
+        .first()
+        .ok_or("usage: ssdm-cli atpg <netlist.bench> <n_faults>")?;
     let n_faults: usize = args
         .get(1)
         .ok_or("missing fault count")?
@@ -98,7 +117,11 @@ fn cmd_atpg(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let atpg = Atpg::new(
         &circuit,
         &lib,
-        AtpgConfig { use_itr, ..AtpgConfig::default() }.with_clock(clock),
+        AtpgConfig {
+            use_itr,
+            ..AtpgConfig::default()
+        }
+        .with_clock(clock),
     );
     let mut detected = 0;
     let mut undetectable = 0;

@@ -176,12 +176,46 @@ mod tests {
     #[test]
     fn violation_predicate() {
         let a = Bound::new(ns(1.0), ns(2.0)).unwrap();
-        assert!(!violates(a, Required { s: ns(0.0), l: ns(3.0) }));
-        assert!(!violates(a, Required { s: ns(1.5), l: ns(1.6) }));
-        assert!(violates(a, Required { s: ns(2.5), l: ns(3.0) }));
-        assert!(violates(a, Required { s: ns(0.0), l: ns(0.5) }));
-        assert!(violates(a, Required { s: ns(3.0), l: ns(0.0) }));
-        assert!(Required { s: ns(3.0), l: ns(0.0) }.infeasible());
+        assert!(!violates(
+            a,
+            Required {
+                s: ns(0.0),
+                l: ns(3.0)
+            }
+        ));
+        assert!(!violates(
+            a,
+            Required {
+                s: ns(1.5),
+                l: ns(1.6)
+            }
+        ));
+        assert!(violates(
+            a,
+            Required {
+                s: ns(2.5),
+                l: ns(3.0)
+            }
+        ));
+        assert!(violates(
+            a,
+            Required {
+                s: ns(0.0),
+                l: ns(0.5)
+            }
+        ));
+        assert!(violates(
+            a,
+            Required {
+                s: ns(3.0),
+                l: ns(0.0)
+            }
+        ));
+        assert!(Required {
+            s: ns(3.0),
+            l: ns(0.0)
+        }
+        .infeasible());
         assert!(!Required::unconstrained().infeasible());
     }
 }

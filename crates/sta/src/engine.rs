@@ -103,6 +103,29 @@ impl<'a> Sta<'a> {
         Ok(loads)
     }
 
+    /// Runs forward analysis with one worker thread per topological
+    /// level chunk — bit-identical to [`Sta::run`], but each level's
+    /// gates are evaluated concurrently. Worth it from a few hundred
+    /// gates up; see [`crate::incremental::PARALLEL_THRESHOLD`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmappable gates or missing library cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads` is zero.
+    pub fn run_parallel(&self, threads: usize) -> Result<StaResult, StaError> {
+        let mut engine = crate::incremental::IncrementalSta::new(
+            self.circuit,
+            self.library,
+            self.config.clone(),
+        )?;
+        let part = crate::incremental::unconstrained_participation(self.circuit.n_nets());
+        engine.full_pass_parallel(&part, threads)?;
+        Ok(engine.snapshot())
+    }
+
     /// Runs forward analysis: arrival and transition-time windows for both
     /// edges of every line (Figure 6, forward half).
     ///
@@ -128,8 +151,7 @@ impl<'a> Sta<'a> {
                 .iter()
                 .map(|&f| PinWindow::sta(lines[f.index()]))
                 .collect();
-            let (lt, total_used) =
-                self.propagate_gate(&plan, &pins, loads[id.index()])?;
+            let (lt, total_used) = self.propagate_gate(&plan, &pins, loads[id.index()])?;
             lines[id.index()] = lt;
             used[id.index()] = total_used;
             inverting[id.index()] = plan.inverting();
@@ -226,6 +248,21 @@ impl TimingView for StaResult {
 }
 
 impl StaResult {
+    /// Assembles a result from the incremental engine's state.
+    pub(crate) fn from_parts(
+        lines: Vec<LineTiming>,
+        used: Vec<DelaysUsed>,
+        inverting: Vec<bool>,
+        model: ModelKind,
+    ) -> StaResult {
+        StaResult {
+            lines,
+            used,
+            inverting,
+            model,
+        }
+    }
+
     /// The windows of a line.
     pub fn line(&self, net: NetId) -> &LineTiming {
         &self.lines[net.index()]
@@ -287,9 +324,13 @@ mod tests {
         let c = suite::c17();
         let lib = library();
         let prop = Sta::new(&c, lib, StaConfig::default()).run().unwrap();
-        let p2p = Sta::new(&c, lib, StaConfig::default().with_model(ModelKind::PinToPin))
-            .run()
-            .unwrap();
+        let p2p = Sta::new(
+            &c,
+            lib,
+            StaConfig::default().with_model(ModelKind::PinToPin),
+        )
+        .run()
+        .unwrap();
         let min_prop = prop.endpoint_min_delay(&c);
         let min_p2p = p2p.endpoint_min_delay(&c);
         let max_prop = prop.endpoint_max_delay(&c);

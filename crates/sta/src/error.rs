@@ -61,9 +61,14 @@ mod tests {
 
     #[test]
     fn displays() {
-        let e = StaError::Unmappable { gate: "g1".into(), reason: "fan-in 9".into() };
+        let e = StaError::Unmappable {
+            gate: "g1".into(),
+            reason: "fan-in 9".into(),
+        };
         assert!(e.to_string().contains("g1"));
-        let e = StaError::from(CellError::UnknownCell { name: "NAND9".into() });
+        let e = StaError::from(CellError::UnknownCell {
+            name: "NAND9".into(),
+        });
         assert!(e.to_string().contains("NAND9"));
         assert!(Error::source(&e).is_some());
     }

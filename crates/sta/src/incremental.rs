@@ -1,0 +1,636 @@
+//! The incremental dirty-cone timing engine.
+//!
+//! [`Sta::run`](crate::Sta::run) recomputes every window of every gate
+//! from scratch; ITR (Section 5 of the paper) calls that recomputation
+//! once per ATPG decision *and* per backtrack, making it the dominant
+//! cost of timing-driven test generation. This module provides the
+//! engine both now share, built around three ideas:
+//!
+//! 1. **Dirty-cone propagation.** The engine keeps the previous
+//!    participation state of every net. A refinement call diffs the new
+//!    participation against it, seeds a worklist with the changed nets
+//!    and their fan-outs, and processes the worklist in topological
+//!    order. A gate whose recomputed [`LineTiming`] *and* per-pin
+//!    [`DelaysUsed`] are unchanged stops the wave: its fan-outs are not
+//!    enqueued. A single primary-input assignment therefore touches only
+//!    its fan-out cone rather than the whole circuit.
+//! 2. **Gate-evaluation memoization.** Every gate evaluation is a pure
+//!    function of (gate, input windows, input participations, own
+//!    participation) — the load, stage plan and cells are fixed per
+//!    gate. Evaluations are cached under a bit-exact key, so PODEM
+//!    backtracks that revisit an earlier assignment are served from
+//!    cache without touching the characterized-cell fits.
+//! 3. **Parallel full passes.** The first analysis of a large circuit
+//!    (and any explicit [`Sta::run_parallel`](crate::Sta::run_parallel))
+//!    evaluates each topological level's gates across threads; gates on
+//!    one level never depend on each other.
+//!
+//! # Equivalence invariants
+//!
+//! The engine guarantees results **bit-identical** to a from-scratch
+//! recomputation under the same participation map (see DESIGN.md §"The
+//! incremental engine"):
+//!
+//! * per-gate evaluation is deterministic and depends only on the
+//!   memo-key inputs, so a memo hit returns exactly what re-evaluation
+//!   would;
+//! * a gate outside the dirty cone has, by induction over topological
+//!   order, bit-identical inputs to the full recomputation, so its
+//!   stored result is exactly what re-evaluation would produce;
+//! * parallel passes evaluate the same pure function per gate and only
+//!   the assignment of gates to threads varies.
+
+use std::collections::HashMap;
+
+use ssdm_cells::{CellLibrary, CharacterizedGate};
+use ssdm_core::{Capacitance, Edge};
+use ssdm_netlist::{Circuit, GateType, NetId};
+
+use crate::engine::{StaConfig, StaResult};
+use crate::error::StaError;
+use crate::propagate::{stage_windows, DelaysUsed};
+use crate::stage::stage_plan;
+use crate::window::{LineTiming, Participation, PinWindow};
+
+/// Per-net, per-edge participation for a whole circuit, indexed
+/// `map[net.index()][edge.index()]`. The all-[`Participation::May`] map
+/// is plain STA.
+pub type ParticipationMap = Vec<[Participation; 2]>;
+
+/// An all-`May` participation map for `n` nets (the plain-STA case).
+pub fn unconstrained_participation(n: usize) -> ParticipationMap {
+    vec![[Participation::May; 2]; n]
+}
+
+/// Counters describing how much work the engine has avoided; useful for
+/// benchmark reporting and ATPG diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IncrementalStats {
+    /// Full passes (first run and explicit full recomputations).
+    pub full_passes: u64,
+    /// Incremental (dirty-cone) refinement calls.
+    pub incremental_passes: u64,
+    /// Nets whose participation diff seeded the worklist, summed over
+    /// all incremental passes.
+    pub dirty_seeds: u64,
+    /// Gate evaluations actually performed (both pass kinds, including
+    /// memo hits).
+    pub gates_evaluated: u64,
+    /// Gate evaluations answered from the memo cache.
+    pub memo_hits: u64,
+    /// Gate evaluations that had to run the window propagation.
+    pub memo_misses: u64,
+    /// Times the memo cache hit its size cap and was cleared.
+    pub memo_evictions: u64,
+}
+
+/// Gate evaluations beyond this many live memo entries clear the cache
+/// (bounds memory on pathological PODEM runs; normal campaigns stay far
+/// below it).
+const MEMO_CAP: usize = 1 << 18;
+
+/// Circuits at least this many nets large get a parallel first pass by
+/// default (below it, thread spawn overhead wins).
+pub const PARALLEL_THRESHOLD: usize = 512;
+
+/// One gate's recomputed state: `(net index, windows, used delays)`.
+type EvalOutput = (usize, LineTiming, DelaysUsed);
+
+/// A netlist gate resolved onto its characterized cells once, ahead of
+/// time (`stage_plan` + library lookups are string-keyed and would
+/// otherwise run on every evaluation).
+struct ResolvedGate<'a> {
+    first: &'a CharacterizedGate,
+    second: Option<&'a CharacterizedGate>,
+    inverting: bool,
+}
+
+/// Bit-exact memoization key: the gate index plus the exact f64 bit
+/// patterns of every input the evaluation depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct MemoKey {
+    gate: u32,
+    words: Box<[u64]>,
+}
+
+fn push_line(words: &mut Vec<u64>, lt: &LineTiming) {
+    for edge in Edge::BOTH {
+        match lt.edge(edge) {
+            None => words.push(u64::MAX),
+            Some(et) => {
+                words.push(1);
+                words.push(et.arrival.s().as_ns().to_bits());
+                words.push(et.arrival.l().as_ns().to_bits());
+                words.push(et.ttime.s().as_ns().to_bits());
+                words.push(et.ttime.l().as_ns().to_bits());
+            }
+        }
+    }
+}
+
+fn part_code(p: [Participation; 2]) -> u64 {
+    let code = |x: Participation| match x {
+        Participation::Must => 0u64,
+        Participation::May => 1,
+        Participation::Cannot => 2,
+    };
+    code(p[0]) * 3 + code(p[1])
+}
+
+/// The incremental engine. Owns the previous analysis state; see the
+/// module docs for the algorithm and its invariants.
+pub struct IncrementalSta<'a> {
+    circuit: &'a Circuit,
+    config: StaConfig,
+    loads: Vec<Capacitance>,
+    /// `None` for primary inputs.
+    plans: Vec<Option<ResolvedGate<'a>>>,
+    /// Net indices grouped by topological level, for parallel passes.
+    levels: Vec<Vec<usize>>,
+    part: ParticipationMap,
+    lines: Vec<LineTiming>,
+    used: Vec<DelaysUsed>,
+    inverting: Vec<bool>,
+    memo: HashMap<MemoKey, (LineTiming, DelaysUsed)>,
+    stats: IncrementalStats,
+    primed: bool,
+}
+
+impl std::fmt::Debug for IncrementalSta<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncrementalSta")
+            .field("circuit", &self.circuit.name())
+            .field("primed", &self.primed)
+            .field("memo_entries", &self.memo.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<'a> IncrementalSta<'a> {
+    /// Builds an engine: resolves every gate's stage plan and cells, and
+    /// computes the static per-net loads.
+    ///
+    /// # Errors
+    ///
+    /// Fails when a gate cannot be mapped onto library cells.
+    pub fn new(
+        circuit: &'a Circuit,
+        library: &'a CellLibrary,
+        config: StaConfig,
+    ) -> Result<IncrementalSta<'a>, StaError> {
+        let n = circuit.n_nets();
+        let mut loads = vec![Capacitance::ZERO; n];
+        let mut plans: Vec<Option<ResolvedGate<'a>>> = Vec::with_capacity(n);
+        for id in circuit.topo() {
+            let gate = circuit.gate(id);
+            if gate.gtype == GateType::Input {
+                plans.push(None);
+                continue;
+            }
+            let plan = stage_plan(gate.gtype, gate.fanin.len(), &gate.name)?;
+            let first = library.require(&plan.first)?;
+            let second = match &plan.second {
+                Some(name) => Some(library.require(name)?),
+                None => None,
+            };
+            let cap = first.input_cap();
+            for &f in &gate.fanin {
+                loads[f.index()] = loads[f.index()] + cap;
+            }
+            plans.push(Some(ResolvedGate {
+                first,
+                second,
+                inverting: plan.inverting(),
+            }));
+        }
+        for &po in circuit.outputs() {
+            loads[po.index()] = loads[po.index()] + config.po_load;
+        }
+        let mut levels: Vec<Vec<usize>> = vec![Vec::new(); circuit.depth() + 1];
+        for id in circuit.topo() {
+            levels[circuit.level(id)].push(id.index());
+        }
+        let inverting = plans
+            .iter()
+            .map(|p| p.as_ref().is_none_or(|r| r.inverting))
+            .collect();
+        Ok(IncrementalSta {
+            circuit,
+            config,
+            loads,
+            plans,
+            levels,
+            part: unconstrained_participation(n),
+            lines: vec![LineTiming::default(); n],
+            used: vec![Vec::new(); n],
+            inverting,
+            memo: HashMap::new(),
+            stats: IncrementalStats::default(),
+            primed: false,
+        })
+    }
+
+    /// Evaluates one net from the current `lines`/`part` state. Pure in
+    /// the memo-key inputs; shared by the sequential, memoized and
+    /// parallel paths.
+    fn eval_gate_uncached(&self, idx: usize) -> Result<(LineTiming, DelaysUsed), StaError> {
+        let id = NetId(idx);
+        let own = self.part[idx];
+        let veto = |lt: &mut LineTiming| {
+            for e in Edge::BOTH {
+                if !own[e.index()].possible() {
+                    lt.set_edge(e, None);
+                }
+            }
+        };
+        let Some(plan) = &self.plans[idx] else {
+            let mut lt = LineTiming::symmetric(self.config.pi_arrival, self.config.pi_ttime);
+            veto(&mut lt);
+            return Ok((lt, Vec::new()));
+        };
+        let gate = self.circuit.gate(id);
+        let pins: Vec<PinWindow> = gate
+            .fanin
+            .iter()
+            .map(|&f| PinWindow {
+                timing: self.lines[f.index()],
+                participation: self.part[f.index()],
+            })
+            .collect();
+        let (mut lt, total_used) = match plan.second {
+            None => stage_windows(plan.first, self.config.model, &pins, self.loads[idx])?,
+            Some(cell2) => {
+                let (mut mid, used1) =
+                    stage_windows(plan.first, self.config.model, &pins, cell2.input_cap())?;
+                // The internal net is the complement of the gate output,
+                // so its participation is the output's with edges
+                // swapped.
+                let mut mid_part = [Participation::May; 2];
+                for e in Edge::BOTH {
+                    mid_part[e.index()] = own[e.inverted().index()];
+                    if !mid_part[e.index()].possible() {
+                        mid.set_edge(e, None);
+                    }
+                }
+                let pin_mid = PinWindow {
+                    timing: mid,
+                    participation: mid_part,
+                };
+                let (out, used2) =
+                    stage_windows(cell2, self.config.model, &[pin_mid], self.loads[idx])?;
+                // Compose per-pin delay bounds across the two stages: the
+                // final edge `e` enters pin `i` as edge `e` (two
+                // inversions) and enters the inverter as `e.inverted()`.
+                let mut total: DelaysUsed = vec![[None, None]; pins.len()];
+                for (pin, stage1) in used1.iter().enumerate() {
+                    for e in Edge::BOTH {
+                        total[pin][e.index()] =
+                            match (stage1[e.index()], used2[0][e.inverted().index()]) {
+                                (Some(a), Some(b)) => Some(a.add(b)),
+                                _ => None,
+                            };
+                    }
+                }
+                (out, total)
+            }
+        };
+        veto(&mut lt);
+        Ok((lt, total_used))
+    }
+
+    /// Builds the memo key of `idx` under the current state; `None` for
+    /// primary inputs (their evaluation is cheaper than a map probe).
+    fn memo_key(&self, idx: usize) -> Option<MemoKey> {
+        self.plans[idx].as_ref()?;
+        let gate = self.circuit.gate(NetId(idx));
+        let mut words = Vec::with_capacity(2 + gate.fanin.len() * 11);
+        words.push(part_code(self.part[idx]));
+        for &f in &gate.fanin {
+            words.push(part_code(self.part[f.index()]));
+            push_line(&mut words, &self.lines[f.index()]);
+        }
+        Some(MemoKey {
+            gate: idx as u32,
+            words: words.into_boxed_slice(),
+        })
+    }
+
+    /// Evaluates one net through the memo cache.
+    fn eval_gate(&mut self, idx: usize) -> Result<(LineTiming, DelaysUsed), StaError> {
+        self.stats.gates_evaluated += 1;
+        let Some(key) = self.memo_key(idx) else {
+            return self.eval_gate_uncached(idx);
+        };
+        if let Some(hit) = self.memo.get(&key) {
+            self.stats.memo_hits += 1;
+            return Ok(hit.clone());
+        }
+        self.stats.memo_misses += 1;
+        let value = self.eval_gate_uncached(idx)?;
+        if self.memo.len() >= MEMO_CAP {
+            self.memo.clear();
+            self.stats.memo_evictions += 1;
+        }
+        self.memo.insert(key, value.clone());
+        Ok(value)
+    }
+
+    /// Recomputes every net sequentially under `part` (through the memo
+    /// cache).
+    ///
+    /// # Errors
+    ///
+    /// Propagates cell-query failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `part.len()` differs from the circuit's net count.
+    pub fn full_pass(&mut self, part: &[[Participation; 2]]) -> Result<(), StaError> {
+        assert_eq!(part.len(), self.circuit.n_nets(), "participation size");
+        self.part.copy_from_slice(part);
+        self.stats.full_passes += 1;
+        for id in self.circuit.topo() {
+            let (lt, du) = self.eval_gate(id.index())?;
+            self.lines[id.index()] = lt;
+            self.used[id.index()] = du;
+        }
+        self.primed = true;
+        Ok(())
+    }
+
+    /// Recomputes every net under `part`, evaluating each topological
+    /// level's gates across `threads` worker threads. Results are
+    /// bit-identical to [`IncrementalSta::full_pass`]; the memo cache is
+    /// neither consulted nor populated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cell-query failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `part.len()` differs from the circuit's net count or
+    /// `threads` is zero.
+    pub fn full_pass_parallel(
+        &mut self,
+        part: &[[Participation; 2]],
+        threads: usize,
+    ) -> Result<(), StaError> {
+        assert_eq!(part.len(), self.circuit.n_nets(), "participation size");
+        assert!(threads > 0, "at least one thread");
+        self.part.copy_from_slice(part);
+        self.stats.full_passes += 1;
+        let n_levels = self.levels.len();
+        for level in 0..n_levels {
+            let ids = std::mem::take(&mut self.levels[level]);
+            let chunk = ids.len().div_ceil(threads).max(1);
+            let results: Vec<Result<Vec<EvalOutput>, StaError>> = std::thread::scope(|scope| {
+                let engine: &IncrementalSta<'a> = &*self;
+                let handles: Vec<_> = ids
+                    .chunks(chunk)
+                    .map(|ids| {
+                        scope.spawn(move || {
+                            ids.iter()
+                                .map(|&i| engine.eval_gate_uncached(i).map(|(lt, du)| (i, lt, du)))
+                                .collect()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            });
+            self.levels[level] = ids;
+            for r in results {
+                for (i, lt, du) in r? {
+                    self.stats.gates_evaluated += 1;
+                    self.lines[i] = lt;
+                    self.used[i] = du;
+                }
+            }
+        }
+        self.primed = true;
+        Ok(())
+    }
+
+    /// Refines the analysis to `part`: diffs it against the previous
+    /// participation map, then recomputes only the dirty cone, stopping
+    /// at gates whose windows and used-delays come out unchanged.
+    ///
+    /// The first call (or any call before a full pass) falls back to
+    /// [`IncrementalSta::full_pass`] — parallel when the circuit is at
+    /// least [`PARALLEL_THRESHOLD`] nets and the host has the cores.
+    ///
+    /// Returns the number of gate evaluations performed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates cell-query failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `part.len()` differs from the circuit's net count.
+    pub fn refine(&mut self, part: &[[Participation; 2]]) -> Result<usize, StaError> {
+        assert_eq!(part.len(), self.circuit.n_nets(), "participation size");
+        if !self.primed {
+            let threads = default_threads(self.circuit.n_nets());
+            if threads > 1 {
+                self.full_pass_parallel(part, threads)?;
+            } else {
+                self.full_pass(part)?;
+            }
+            return Ok(self.circuit.n_nets());
+        }
+        self.stats.incremental_passes += 1;
+        // Min-heap of dirty net indices: fan-outs always have larger
+        // topological indices, so popping in index order both respects
+        // dependencies and guarantees each net is evaluated at most once.
+        let mut heap = std::collections::BinaryHeap::new();
+        let mut queued = vec![false; part.len()];
+        let push =
+            |heap: &mut std::collections::BinaryHeap<_>, queued: &mut Vec<bool>, i: usize| {
+                if !queued[i] {
+                    queued[i] = true;
+                    heap.push(std::cmp::Reverse(i));
+                }
+            };
+        for (i, &p) in part.iter().enumerate() {
+            if p != self.part[i] {
+                self.part[i] = p;
+                self.stats.dirty_seeds += 1;
+                push(&mut heap, &mut queued, i);
+                for &c in self.circuit.fanouts(NetId(i)) {
+                    push(&mut heap, &mut queued, c.index());
+                }
+            }
+        }
+        let mut evaluated = 0usize;
+        while let Some(std::cmp::Reverse(i)) = heap.pop() {
+            let (lt, du) = self.eval_gate(i)?;
+            evaluated += 1;
+            if lt != self.lines[i] || du != self.used[i] {
+                self.lines[i] = lt;
+                self.used[i] = du;
+                for &c in self.circuit.fanouts(NetId(i)) {
+                    push(&mut heap, &mut queued, c.index());
+                }
+            }
+        }
+        Ok(evaluated)
+    }
+
+    /// The current per-line windows, indexed by net.
+    pub fn lines(&self) -> &[LineTiming] {
+        &self.lines
+    }
+
+    /// The current per-gate used-delay records, indexed by net.
+    pub fn used(&self) -> &[DelaysUsed] {
+        &self.used
+    }
+
+    /// Whether each composite gate is logically inverting.
+    pub fn inverting(&self) -> &[bool] {
+        &self.inverting
+    }
+
+    /// Work counters accumulated since construction.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// Clones the current state into a [`StaResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when no pass has run yet.
+    pub fn snapshot(&self) -> StaResult {
+        assert!(self.primed, "snapshot before any pass");
+        StaResult::from_parts(
+            self.lines.clone(),
+            self.used.clone(),
+            self.inverting.clone(),
+            self.config.model,
+        )
+    }
+}
+
+/// The thread count [`IncrementalSta::refine`] uses for an unprimed
+/// first pass on an `n`-net circuit.
+pub fn default_threads(n: usize) -> usize {
+    if n < PARALLEL_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get().min(8))
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Sta;
+    use crate::testlib::library;
+    use ssdm_netlist::suite;
+
+    fn assert_matches_sta(circuit: &Circuit) {
+        let lib = library();
+        let sta = Sta::new(circuit, lib, StaConfig::default()).run().unwrap();
+        let mut eng = IncrementalSta::new(circuit, lib, StaConfig::default()).unwrap();
+        let part = unconstrained_participation(circuit.n_nets());
+        eng.full_pass(&part).unwrap();
+        for id in circuit.topo() {
+            assert_eq!(sta.line(id), &eng.lines()[id.index()], "net {id:?}");
+        }
+    }
+
+    #[test]
+    fn full_pass_matches_sta_run() {
+        assert_matches_sta(&suite::c17());
+        assert_matches_sta(&suite::synthetic("c880s").unwrap());
+    }
+
+    #[test]
+    fn parallel_pass_is_bit_identical() {
+        let c = suite::synthetic("c880s").unwrap();
+        let lib = library();
+        let part = unconstrained_participation(c.n_nets());
+        let mut seq = IncrementalSta::new(&c, lib, StaConfig::default()).unwrap();
+        seq.full_pass(&part).unwrap();
+        let mut par = IncrementalSta::new(&c, lib, StaConfig::default()).unwrap();
+        par.full_pass_parallel(&part, 4).unwrap();
+        assert_eq!(seq.lines(), par.lines());
+        assert_eq!(seq.used(), par.used());
+    }
+
+    #[test]
+    fn refine_touches_only_the_dirty_cone() {
+        let c = suite::synthetic("c880s").unwrap();
+        let lib = library();
+        let mut eng = IncrementalSta::new(&c, lib, StaConfig::default()).unwrap();
+        let mut part = unconstrained_participation(c.n_nets());
+        eng.full_pass(&part).unwrap();
+        // Vetoing one PI's fall edge dirties only its cone.
+        let pi = c.inputs()[0];
+        part[pi.index()][Edge::Fall.index()] = Participation::Cannot;
+        let evaluated = eng.refine(&part).unwrap();
+        assert!(evaluated >= 1);
+        assert!(
+            evaluated < c.n_nets() / 4,
+            "single-PI refinement evaluated {evaluated}/{} nets",
+            c.n_nets()
+        );
+        // And the refinement matches a from-scratch recomputation.
+        let mut fresh = IncrementalSta::new(&c, lib, StaConfig::default()).unwrap();
+        fresh.full_pass(&part).unwrap();
+        assert_eq!(eng.lines(), fresh.lines());
+        assert_eq!(eng.used(), fresh.used());
+    }
+
+    #[test]
+    fn unchanged_participation_evaluates_nothing() {
+        let c = suite::c17();
+        let lib = library();
+        let mut eng = IncrementalSta::new(&c, lib, StaConfig::default()).unwrap();
+        let part = unconstrained_participation(c.n_nets());
+        eng.full_pass(&part).unwrap();
+        assert_eq!(eng.refine(&part).unwrap(), 0);
+    }
+
+    #[test]
+    fn memo_serves_repeated_states() {
+        let c = suite::c17();
+        let lib = library();
+        let mut eng = IncrementalSta::new(&c, lib, StaConfig::default()).unwrap();
+        let base = unconstrained_participation(c.n_nets());
+        eng.full_pass(&base).unwrap();
+        let mut toggled = base.clone();
+        let pi = c.inputs()[2];
+        toggled[pi.index()] = [Participation::Must, Participation::Cannot];
+        // Flip back and forth: the second visit to each state must be
+        // all memo hits.
+        eng.refine(&toggled).unwrap();
+        eng.refine(&base).unwrap();
+        let before = eng.stats();
+        eng.refine(&toggled).unwrap();
+        eng.refine(&base).unwrap();
+        let after = eng.stats();
+        assert!(after.memo_hits > before.memo_hits);
+        assert_eq!(after.memo_misses, before.memo_misses, "revisit recomputed");
+    }
+
+    #[test]
+    fn snapshot_round_trips_model() {
+        let c = suite::c17();
+        let lib = library();
+        let cfg = StaConfig::default();
+        let mut eng = IncrementalSta::new(&c, lib, cfg.clone()).unwrap();
+        eng.full_pass(&unconstrained_participation(c.n_nets()))
+            .unwrap();
+        let snap = eng.snapshot();
+        assert_eq!(snap.model(), cfg.model);
+        assert_eq!(snap.lines().len(), c.n_nets());
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`stage`] — mapping netlist gates onto characterized cells (AND/OR
 //!   decompose into NAND/NOR + INV),
 //! * [`engine`] — the full-circuit forward pass,
+//! * [`incremental`] — the dirty-cone engine shared by STA and ITR:
+//!   participation-diff worklists, bit-exact gate-evaluation memoization
+//!   and parallel full passes,
 //! * [`backward`] — required times and the delay-error check,
 //! * [`report`] — endpoint summaries and critical-path extraction.
 //!
@@ -40,17 +43,28 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod backward;
 pub mod engine;
 pub mod error;
+pub mod incremental;
 pub mod propagate;
 pub mod report;
 pub mod stage;
 pub mod window;
 
 pub use backward::{find_violations, required_times, violates, Required};
+pub use incremental::{
+    unconstrained_participation, IncrementalSta, IncrementalStats, ParticipationMap,
+};
+
+pub use engine::{Sta, StaConfig, StaResult, TimingView};
+pub use error::StaError;
+pub use propagate::{stage_windows, DelaysUsed, ModelKind};
+pub use report::{critical_path, slowest_endpoint, timing_report, PathStep};
+pub use stage::{stage_plan, StagePlan};
+pub use window::{EdgeTiming, LineTiming, Participation, PinWindow};
 
 #[cfg(test)]
 pub(crate) mod testlib {
@@ -65,9 +79,3 @@ pub(crate) mod testlib {
         })
     }
 }
-pub use engine::{Sta, StaConfig, StaResult, TimingView};
-pub use error::StaError;
-pub use propagate::{stage_windows, DelaysUsed, ModelKind};
-pub use report::{critical_path, slowest_endpoint, timing_report, PathStep};
-pub use stage::{stage_plan, StagePlan};
-pub use window::{EdgeTiming, LineTiming, Participation, PinWindow};

@@ -10,6 +10,30 @@ use crate::error::StaError;
 use crate::window::{EdgeTiming, LineTiming, Participation, PinWindow};
 
 /// Which delay model drives the propagation.
+///
+/// All three kinds run the *same* window machinery — eight fields per
+/// line, min/max corner search over the achievable `β, γ ∈ {S, L}`
+/// transition-time box — and differ only in which per-cell fitted
+/// functions the corner search may consult:
+///
+/// * [`ModelKind::PinToPin`] uses only the per-position single-switch
+///   quadratics `DR(T)`, exactly what an SDF flow sees. It cannot
+///   represent the parallel-path speed-up, so its minimum-arrival bounds
+///   are systematically pessimistic (the Table 2 gap).
+/// * [`ModelKind::Proposed`] adds the simultaneous to-controlling
+///   V-shapes (`D0R` zero-skew floor, `SR` saturation skew): when several
+///   participating inputs can switch toward the controlling value within
+///   each other's saturation skew, the min-corner slides down the V toward
+///   `D0R`. Max corners are unchanged — simultaneous switching only ever
+///   *speeds up* a to-controlling output.
+/// * [`ModelKind::ProposedMiller`] additionally applies the §3.6
+///   to-non-controlling extension, which *raises* max corners (Miller
+///   coupling slows the opposing edge). It is opt-in precisely because it
+///   moves the other bound: Table 2 of the paper predates the extension.
+///
+/// The kind is part of the analysis configuration (`StaConfig::model`),
+/// and — because results depend on it — part of the incremental engine's
+/// identity: memoized results never cross models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelKind {
     /// The paper's model: pin-to-pin quadratics plus simultaneous
@@ -198,7 +222,7 @@ fn edge_windows(
                     };
                     let skews = other.arrival.sub(trig.arrival);
                     let bump = (v.max_over(skews) - v.left_knee().1).max(Time::ZERO);
-                    d = d + bump;
+                    d += bump;
                 }
             }
             a_l = a_l.max(trig.arrival.l() + d);
@@ -212,7 +236,11 @@ fn edge_windows(
             .filter(|a| a.must)
             .map(|a| a.arrival.s() + a.dmin)
             .fold(Time::NEG_INFINITY, Time::max);
-        let a_s = if any_must { single_min.max(must_min) } else { single_min };
+        let a_s = if any_must {
+            single_min.max(must_min)
+        } else {
+            single_min
+        };
         let min_used = active.iter().map(|a| a.dmin).collect();
         (a_s, a_l, min_used)
     };
@@ -305,7 +333,7 @@ fn composed_min(
                 )?;
                 let knee = v.right_knee().1;
                 if knee > Time::ZERO {
-                    let r = (v.min_over(skews) / knee).min(1.0).max(0.0);
+                    let r = (v.min_over(skews) / knee).clamp(0.0, 1.0);
                     best_ratio = best_ratio.min(r);
                 }
                 if skews.overlaps(v.simultaneous_window()) {
@@ -316,7 +344,7 @@ fn composed_min(
         d = d * best_ratio;
         if in_window {
             k_sim += 1;
-            t_small_sum = t_small_sum + cell.clamp_t(other.ttime.s());
+            t_small_sum += cell.clamp_t(other.ttime.s());
         }
     }
     if k_sim >= 2 {
@@ -359,7 +387,7 @@ fn composed_max(
                 )?;
                 let knee = v.right_knee().1;
                 if knee > Time::ZERO {
-                    let r = (v.max_over(skews) / knee).min(1.0).max(0.0);
+                    let r = (v.max_over(skews) / knee).clamp(0.0, 1.0);
                     worst_ratio = worst_ratio.max(r);
                 } else {
                     worst_ratio = 1.0;
@@ -372,7 +400,7 @@ fn composed_max(
         d = d * worst_ratio;
         if always_in_window {
             k_sim += 1;
-            t_large_sum = t_large_sum + cell.clamp_t(other.ttime.l());
+            t_large_sum += cell.clamp_t(other.ttime.l());
         }
     }
     // The composed upper bound must never dip below the characterized

@@ -33,10 +33,7 @@ pub fn critical_path<V: TimingView + ?Sized>(
     let mut rev = Vec::new();
     let mut net = endpoint;
     let mut e = edge;
-    loop {
-        let Some(et) = result.line(net).edge(e) else {
-            break;
-        };
+    while let Some(et) = result.line(net).edge(e) {
         rev.push(PathStep {
             net,
             edge: e,
@@ -57,7 +54,7 @@ pub fn critical_path<V: TimingView + ?Sized>(
                 continue;
             };
             let reach = fet.arrival.l() + d.l();
-            if best.map_or(true, |(_, r)| reach > r) {
+            if best.is_none_or(|(_, r)| reach > r) {
                 best = Some((f, reach));
             }
         }
@@ -84,7 +81,7 @@ pub fn slowest_endpoint<V: TimingView + ?Sized>(
         for e in Edge::BOTH {
             if let Some(et) = result.line(po).edge(e) {
                 let a = et.arrival.l();
-                if best.map_or(true, |(_, _, b)| a > b) {
+                if best.is_none_or(|(_, _, b)| a > b) {
                     best = Some((po, e, a));
                 }
             }
@@ -195,6 +192,10 @@ mod tests {
         let r = Sta::new(&c, library(), StaConfig::default()).run().unwrap();
         let (po, edge, _) = slowest_endpoint(&c, &r).unwrap();
         let path = critical_path(&c, &r, po, edge);
-        assert!(path.len() > 10, "critical path of only {} steps", path.len());
+        assert!(
+            path.len() > 10,
+            "critical path of only {} steps",
+            path.len()
+        );
     }
 }

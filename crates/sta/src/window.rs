@@ -1,4 +1,39 @@
 //! Per-line timing windows (Figure 7) and participation states.
+//!
+//! # The eight-field window (`A/T × R/F × S/L`)
+//!
+//! The paper's STA keeps **eight numbers per line**, the Cartesian product
+//! of three binary axes:
+//!
+//! * **`A`/`T`** — the quantity: arrival time (`A`, when the 50 % crossing
+//!   can happen) vs transition time (`T`, the 10–90 % ramp duration of the
+//!   waveform making that crossing);
+//! * **`R`/`F`** — the output edge: a rising vs a falling transition of
+//!   this line. The two edges are tracked separately because a gate's
+//!   rise and fall behaviour differ (different transistor networks,
+//!   different V-shape coefficients) and because two-frame logic can rule
+//!   out one edge but not the other;
+//! * **`S`/`L`** — the window bound: smallest vs largest value the
+//!   quantity can take over every vector pair consistent with what is
+//!   known so far.
+//!
+//! So `A_{R,S}` reads "the earliest time this line can start rising" and
+//! `T_{F,L}` "the slowest ramp any falling transition here can have".
+//! The grouping in code follows that product: a [`LineTiming`] holds one
+//! optional [`EdgeTiming`] per edge (`R`/`F`), and each [`EdgeTiming`]
+//! holds two `[S, L]` [`Bound`]s — `arrival` (`A`) and `ttime` (`T`).
+//!
+//! The `S` and `L` bounds are not independent analyses: min-corners feed
+//! min-corners through a gate (an early, fast input edge produces the
+//! early output bound) but the *transition-time* extreme that minimizes
+//! delay need not minimize output transition time, which is why
+//! propagation samples the `β, γ ∈ {S, L}` corner combinations and why
+//! windows, once refined, can move by a corner-sampling sliver (see
+//! [`LineTiming::refined_by_within`]).
+//!
+//! Under ITR, each edge additionally carries a [`Participation`] derived
+//! from the nine-value logic state: windows bound *when* a transition can
+//! happen, participation bounds *whether* it happens at all.
 
 use ssdm_core::{Bound, Edge, Time};
 
@@ -184,8 +219,14 @@ mod tests {
         let mut lt = LineTiming::default();
         assert_eq!(lt.earliest(), Time::INFINITY);
         assert_eq!(lt.latest(), Time::NEG_INFINITY);
-        lt.rise = Some(EdgeTiming { arrival: b(1.0, 2.0), ttime: b(0.1, 0.2) });
-        lt.fall = Some(EdgeTiming { arrival: b(0.5, 3.0), ttime: b(0.1, 0.2) });
+        lt.rise = Some(EdgeTiming {
+            arrival: b(1.0, 2.0),
+            ttime: b(0.1, 0.2),
+        });
+        lt.fall = Some(EdgeTiming {
+            arrival: b(0.5, 3.0),
+            ttime: b(0.1, 0.2),
+        });
         assert_eq!(lt.earliest(), ns(0.5));
         assert_eq!(lt.latest(), ns(3.0));
     }

@@ -122,7 +122,11 @@ impl<'a, M: DelayModel> TimingSim<'a, M> {
             values1[pi.index()] = input.v1[idx];
             values2[pi.index()] = input.v2[idx];
             if input.v1[idx] != input.v2[idx] {
-                let edge = if input.v2[idx] { Edge::Rise } else { Edge::Fall };
+                let edge = if input.v2[idx] {
+                    Edge::Rise
+                } else {
+                    Edge::Fall
+                };
                 events[pi.index()] = Some(Transition::new(edge, input.pi_arrival, input.pi_ttime));
             }
         }
@@ -197,26 +201,35 @@ impl<'a, M: DelayModel> TimingSim<'a, M> {
         out_edge: Edge,
     ) -> Result<Transition, TsimError> {
         let plan = stage_plan(gtype, fanin, gate_name)?;
-        let cell1 = self.library.require(&plan.first).map_err(ssdm_sta::StaError::from)?;
+        let cell1 = self
+            .library
+            .require(&plan.first)
+            .map_err(ssdm_sta::StaError::from)?;
         match plan.second {
             None => {
                 let r = self.model.response(cell1, switching, load)?;
                 debug_assert_eq!(r.out_edge, out_edge);
-                Ok(Transition::new(r.out_edge, r.arrival, r.ttime.max(Time::from_ps(1.0))))
+                Ok(Transition::new(
+                    r.out_edge,
+                    r.arrival,
+                    r.ttime.max(Time::from_ps(1.0)),
+                ))
             }
             Some(second) => {
-                let cell2 = self.library.require(&second).map_err(ssdm_sta::StaError::from)?;
-                let mid = self
-                    .model
-                    .response(cell1, switching, cell2.input_cap())?;
-                let mid_tr = Transition::new(
-                    mid.out_edge,
-                    mid.arrival,
-                    mid.ttime.max(Time::from_ps(1.0)),
-                );
+                let cell2 = self
+                    .library
+                    .require(&second)
+                    .map_err(ssdm_sta::StaError::from)?;
+                let mid = self.model.response(cell1, switching, cell2.input_cap())?;
+                let mid_tr =
+                    Transition::new(mid.out_edge, mid.arrival, mid.ttime.max(Time::from_ps(1.0)));
                 let r = self.model.response(cell2, &[(0, mid_tr)], load)?;
                 debug_assert_eq!(r.out_edge, out_edge);
-                Ok(Transition::new(r.out_edge, r.arrival, r.ttime.max(Time::from_ps(1.0))))
+                Ok(Transition::new(
+                    r.out_edge,
+                    r.arrival,
+                    r.ttime.max(Time::from_ps(1.0)),
+                ))
             }
         }
     }
@@ -243,7 +256,9 @@ mod tests {
         let sim = TimingSim::new(&c, library(), ProposedModel::new());
         // All inputs fall: outputs 22 and 23 switch (from eval: all-ones
         // gives [1, 0], all-zeros gives [0, 0] → 22 falls, 23 stays 0).
-        let trace = sim.run(&SimInput::step(&c, &[true; 5], &[false; 5])).unwrap();
+        let trace = sim
+            .run(&SimInput::step(&c, &[true; 5], &[false; 5]))
+            .unwrap();
         let o22 = c.find("22").unwrap();
         let o23 = c.find("23").unwrap();
         let e22 = trace.event(o22).expect("22 switches");
@@ -259,7 +274,11 @@ mod tests {
         let c = suite::c17();
         let sim = TimingSim::new(&c, library(), ProposedModel::new());
         let trace = sim
-            .run(&SimInput::step(&c, &[true; 5], &[false, true, false, true, false]))
+            .run(&SimInput::step(
+                &c,
+                &[true; 5],
+                &[false, true, false, true, false],
+            ))
             .unwrap();
         for id in c.topo() {
             let Some(ev) = trace.event(id) else { continue };
@@ -289,7 +308,8 @@ mod tests {
         let mut b = CircuitBuilder::new("one");
         b.input("a");
         b.input("b");
-        b.gate("y", ssdm_netlist::GateType::Nand, &["a", "b"]).unwrap();
+        b.gate("y", ssdm_netlist::GateType::Nand, &["a", "b"])
+            .unwrap();
         b.output("y");
         let c = b.build().unwrap();
         let input = SimInput::step(&c, &[true, true], &[false, false]);
@@ -321,7 +341,8 @@ mod tests {
         let mut b = CircuitBuilder::new("mix");
         b.input("a");
         b.input("b");
-        b.gate("y", ssdm_netlist::GateType::Nand, &["a", "b"]).unwrap();
+        b.gate("y", ssdm_netlist::GateType::Nand, &["a", "b"])
+            .unwrap();
         b.output("y");
         let c = b.build().unwrap();
         // a: 1→0 (fall, to-controlling), b: 0→1 (rise): y = NAND: frame1 =
@@ -344,12 +365,18 @@ mod tests {
         b.input("a");
         b.input("b");
         b.input("c");
-        b.gate("y", ssdm_netlist::GateType::And, &["a", "b", "c"]).unwrap();
-        b.gate("z", ssdm_netlist::GateType::Or, &["y", "c"]).unwrap();
+        b.gate("y", ssdm_netlist::GateType::And, &["a", "b", "c"])
+            .unwrap();
+        b.gate("z", ssdm_netlist::GateType::Or, &["y", "c"])
+            .unwrap();
         b.output("z");
         let c = b.build().unwrap();
         let t = TimingSim::new(&c, library(), ProposedModel::new())
-            .run(&SimInput::step(&c, &[true, true, true], &[true, true, false]))
+            .run(&SimInput::step(
+                &c,
+                &[true, true, true],
+                &[true, true, false],
+            ))
             .unwrap();
         // c falls → y falls → z falls (c also feeds z directly).
         let z = c.find("z").unwrap();
@@ -377,7 +404,9 @@ mod tests {
     fn steady_vectors_produce_no_events() {
         let c = suite::c17();
         let sim = TimingSim::new(&c, library(), ProposedModel::new());
-        let trace = sim.run(&SimInput::step(&c, &[true; 5], &[true; 5])).unwrap();
+        let trace = sim
+            .run(&SimInput::step(&c, &[true; 5], &[true; 5]))
+            .unwrap();
         assert_eq!(trace.n_events(), 0);
         assert!(trace.latest_arrival(c.outputs()).is_none());
     }

@@ -28,11 +28,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sites = coupling_sites(&c17, 8, 2001);
 
     for use_itr in [false, true] {
-        let atpg = Atpg::new(&c17, &lib, AtpgConfig { use_itr, ..AtpgConfig::default() });
+        let atpg = Atpg::new(
+            &c17,
+            &lib,
+            AtpgConfig {
+                use_itr,
+                ..AtpgConfig::default()
+            },
+        );
         let mut stats = ssdm::atpg::AtpgStats::default();
         println!(
             "--- c17, {} ---",
-            if use_itr { "with ITR pruning" } else { "timing checked only at the end" }
+            if use_itr {
+                "with ITR pruning"
+            } else {
+                "timing checked only at the end"
+            }
         );
         for &site in &sites {
             let a = c17.gate(site.aggressor).name.clone();

@@ -18,24 +18,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nand2 = lib.require("NAND2")?;
     let load = nand2.ref_load();
 
-    println!("characterized cells: {}", lib.names().collect::<Vec<_>>().join(", "));
+    println!(
+        "characterized cells: {}",
+        lib.names().collect::<Vec<_>>().join(", ")
+    );
     println!();
 
     // The headline phenomenon (Figure 1): simultaneous to-controlling
     // transitions switch the gate faster than a single one.
-    let fall = |arrival: f64| {
-        Transition::new(Edge::Fall, Time::from_ns(arrival), Time::from_ns(0.5))
-    };
+    let fall =
+        |arrival: f64| Transition::new(Edge::Fall, Time::from_ns(arrival), Time::from_ns(0.5));
     let proposed = ProposedModel::new();
     let pin2pin = PinToPinModel::new();
     let reference = SpiceReference::default();
 
     println!("NAND2, T = 0.5 ns, inverter load — gate delay (output rise):");
-    println!("{:<28}{:>12}{:>12}{:>12}", "stimulus", "spice", "proposed", "pin-to-pin");
+    println!(
+        "{:<28}{:>12}{:>12}{:>12}",
+        "stimulus", "spice", "proposed", "pin-to-pin"
+    );
     for (label, stim) in [
         ("single input (X)", vec![(0usize, fall(1.0))]),
         ("simultaneous (δ = 0)", vec![(0, fall(1.0)), (1, fall(1.0))]),
-        ("skewed (δ = 0.15 ns)", vec![(0, fall(1.0)), (1, fall(1.15))]),
+        (
+            "skewed (δ = 0.15 ns)",
+            vec![(0, fall(1.0)), (1, fall(1.15))],
+        ),
         ("far apart (δ = 2 ns)", vec![(0, fall(1.0)), (1, fall(3.0))]),
     ] {
         let spice_d = reference.response(nand2, &stim, load)?.arrival - Time::from_ns(1.0);

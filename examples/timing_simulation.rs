@@ -20,15 +20,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c17 = suite::c17();
 
     // STA with launch conditions matching the simulator's.
-    let mut cfg = StaConfig::default();
-    cfg.pi_ttime = Bound::point(Time::from_ns(0.3));
+    let cfg = StaConfig {
+        pi_ttime: Bound::point(Time::from_ns(0.3)),
+        ..StaConfig::default()
+    };
     let sta = Sta::new(&c17, &lib, cfg.clone()).run()?;
     let sim = TimingSim::new(&c17, &lib, ProposedModel::new()).with_config(cfg);
 
     let vector_pairs: [(&str, [bool; 5], [bool; 5]); 3] = [
         ("all fall", [true; 5], [false; 5]),
         ("all rise", [false; 5], [true; 5]),
-        ("mixed", [true, false, true, false, true], [false, true, true, true, false]),
+        (
+            "mixed",
+            [true, false, true, false, true],
+            [false, true, true, true, false],
+        ),
     ];
     for (label, v1, v2) in vector_pairs {
         let trace = sim.run(&SimInput::step(&c17, &v1, &v2))?;
@@ -37,10 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let name = &c17.gate(po).name;
             match trace.event(po) {
                 Some(ev) => {
-                    let w = sta
-                        .line(po)
-                        .edge(ev.edge)
-                        .expect("STA keeps both edges");
+                    let w = sta.line(po).edge(ev.edge).expect("STA keeps both edges");
                     let inside = w.arrival.contains(ev.arrival);
                     println!(
                         "  PO {name}: {} at {:.3} — STA window {:.3} {}",

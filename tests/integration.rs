@@ -54,8 +54,14 @@ fn proposed_model_tracks_spice_across_cells_and_stimuli() {
             (0.5, 0.5, 1.8),
         ] {
             let stim = [
-                (0usize, Transition::new(in_edge, Time::from_ns(2.0), Time::from_ns(t0))),
-                (1usize, Transition::new(in_edge, Time::from_ns(2.0 + skew), Time::from_ns(t1))),
+                (
+                    0usize,
+                    Transition::new(in_edge, Time::from_ns(2.0), Time::from_ns(t0)),
+                ),
+                (
+                    1usize,
+                    Transition::new(in_edge, Time::from_ns(2.0 + skew), Time::from_ns(t1)),
+                ),
             ];
             let r = reference.response(cell, &stim, load).unwrap();
             let p = proposed.response(cell, &stim, load).unwrap();
@@ -140,7 +146,8 @@ fn itr_refines_sta_on_a_synthetic_circuit() {
     let refined = itr.refine(&mut a).unwrap();
     for id in circuit.topo() {
         assert!(
-            sta.line(id).refined_by_within(refined.line(id), Time::from_ps(2.0)),
+            sta.line(id)
+                .refined_by_within(refined.line(id), Time::from_ps(2.0)),
             "net {} widened under refinement",
             circuit.gate(id).name
         );
@@ -168,8 +175,22 @@ fn atpg_with_itr_meets_or_beats_blind_search_on_c17() {
     let lib = library();
     let circuit = suite::c17();
     let sites = coupling_sites(&circuit, 10, 77);
-    let with = Atpg::new(&circuit, lib, AtpgConfig { use_itr: true, ..AtpgConfig::default() });
-    let without = Atpg::new(&circuit, lib, AtpgConfig { use_itr: false, ..AtpgConfig::default() });
+    let with = Atpg::new(
+        &circuit,
+        lib,
+        AtpgConfig {
+            use_itr: true,
+            ..AtpgConfig::default()
+        },
+    );
+    let without = Atpg::new(
+        &circuit,
+        lib,
+        AtpgConfig {
+            use_itr: false,
+            ..AtpgConfig::default()
+        },
+    );
     let sw = with.run_sites(&sites).unwrap();
     let so = without.run_sites(&sites).unwrap();
     assert!(
@@ -218,8 +239,7 @@ fn bench_writer_round_trips_synthetic_circuits() {
     let a = Sta::new(&circuit, lib, StaConfig::default()).run().unwrap();
     let b = Sta::new(&back, lib, StaConfig::default()).run().unwrap();
     assert!(
-        (a.endpoint_max_delay(&circuit) - b.endpoint_max_delay(&back)).abs()
-            < Time::from_ns(1e-9)
+        (a.endpoint_max_delay(&circuit) - b.endpoint_max_delay(&back)).abs() < Time::from_ns(1e-9)
     );
 }
 
@@ -232,14 +252,23 @@ fn baselines_disagree_with_proposed_exactly_where_the_paper_says() {
     let proposed = ProposedModel::new();
     // Zero skew: proposed is faster than pin-to-pin (speed-up captured).
     let stim = [
-        (0usize, Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5))),
-        (1usize, Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5))),
+        (
+            0usize,
+            Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5)),
+        ),
+        (
+            1usize,
+            Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5)),
+        ),
     ];
     let p = proposed.response(cell, &stim, load).unwrap();
     let b = pin2pin.response(cell, &stim, load).unwrap();
     assert!(p.arrival < b.arrival);
     // Single switch: identical.
-    let single = [(0usize, Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5)))];
+    let single = [(
+        0usize,
+        Transition::new(Edge::Fall, Time::from_ns(1.0), Time::from_ns(0.5)),
+    )];
     let p = proposed.response(cell, &single, load).unwrap();
     let b = pin2pin.response(cell, &single, load).unwrap();
     assert_eq!(p.arrival, b.arrival);

@@ -1,0 +1,311 @@
+//! Offline drop-in replacement for the subset of the [`proptest`] API this
+//! workspace uses: the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`,
+//! `ProptestConfig::with_cases`, numeric-range strategies and
+//! `prop::collection::vec`.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this minimal implementation. Differences from upstream:
+//!
+//! * **no shrinking** — a failing case reports the values that failed and
+//!   the seed, but does not minimize them;
+//! * **fixed deterministic seeding** — every test function runs the same
+//!   case sequence on every run (seeded from the case index), so failures
+//!   are always reproducible;
+//! * only the strategy combinators the workspace needs are provided.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A source of generated values. Implemented for numeric ranges and
+    /// the combinators in [`crate::collection`].
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+    /// A strategy producing one fixed value (upstream's `Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::strategy::Strategy;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// A vector of `size` elements drawn from `element` (upstream's
+    /// `prop::collection::vec`).
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case-loop driver behind the [`crate::proptest!`] macro.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Rejection of one test case with a failure message.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A failed case.
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError(msg.into())
+        }
+    }
+
+    /// Runner configuration (upstream's `ProptestConfig`; only `cases` is
+    /// honoured).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of cases to run per test.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            // Upstream defaults to 256; this repo's properties build whole
+            // circuits per case, so keep the untagged default moderate.
+            Config { cases: 64 }
+        }
+    }
+
+    /// Runs `body` for each case with a per-case deterministic RNG.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the enclosing `#[test]`) on the first case whose
+    /// body returns an error.
+    pub fn run<F>(config: &Config, name: &str, mut body: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        for case in 0..config.cases {
+            // Deterministic, distinct per (test name, case index).
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            let mut rng = StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9));
+            if let Err(TestCaseError(msg)) = body(&mut rng) {
+                panic!("proptest case {case}/{} failed: {msg}", config.cases);
+            }
+        }
+    }
+}
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// The `prop::` namespace used inside `proptest!` bodies
+/// (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::strategy;
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($parm:pat in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                $(let $parm = $crate::strategy::Strategy::generate(&($strat), __rng);)+
+                let __out: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                __out
+            });
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a == __b,
+            "assertion failed: {:?} == {:?}", __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(__a == __b, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless the two values differ.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a != __b,
+            "assertion failed: {:?} != {:?}", __a, __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(__a != __b, $($fmt)*);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Ranges stay in bounds and tuples of params work.
+        #[test]
+        fn ranges_in_bounds(x in 0.5..2.0f64, n in 3usize..9, b in 0u8..2) {
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(b < 2, "b = {b}");
+        }
+
+        /// `mut` patterns and collection strategies work.
+        #[test]
+        fn vec_strategy(mut ys in collection::vec(-1.0..1.0f64, 2..20)) {
+            ys.sort_by(f64::total_cmp);
+            prop_assert!(ys.len() >= 2 && ys.len() < 20);
+            prop_assert!(ys.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    proptest! {
+        /// The no-config form compiles and runs with default cases.
+        #[test]
+        fn default_config(v in 0u64..100) {
+            prop_assert_eq!(v, v);
+            prop_assert_ne!(v, v + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_panic_with_case_info() {
+        crate::test_runner::run(
+            &crate::test_runner::Config::with_cases(1),
+            "failing",
+            |_rng| Err(crate::test_runner::TestCaseError::fail("nope")),
+        );
+    }
+
+    #[test]
+    fn just_yields_constant() {
+        use crate::strategy::{Just, Strategy};
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Just(7u8).generate(&mut rng), 7);
+    }
+}
