@@ -5,6 +5,7 @@ use std::fmt;
 
 use ssdm_itr::ItrError;
 use ssdm_sta::StaError;
+use ssdm_tsim::TsimError;
 
 /// Errors produced by the test generator (infrastructure failures, not
 /// search outcomes — those are [`crate::FaultOutcome`]).
@@ -13,12 +14,15 @@ pub enum AtpgError {
     /// Timing refinement failed for a non-search reason (missing cells,
     /// unmappable gates).
     Timing(StaError),
+    /// Test replay through the timing simulator failed (fault dropping).
+    Simulation(TsimError),
 }
 
 impl fmt::Display for AtpgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AtpgError::Timing(e) => write!(f, "timing analysis failed: {e}"),
+            AtpgError::Simulation(e) => write!(f, "test replay failed: {e}"),
         }
     }
 }
@@ -27,6 +31,7 @@ impl Error for AtpgError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             AtpgError::Timing(e) => Some(e),
+            AtpgError::Simulation(e) => Some(e),
         }
     }
 }
@@ -34,6 +39,12 @@ impl Error for AtpgError {
 impl From<StaError> for AtpgError {
     fn from(e: StaError) -> AtpgError {
         AtpgError::Timing(e)
+    }
+}
+
+impl From<TsimError> for AtpgError {
+    fn from(e: TsimError) -> AtpgError {
+        AtpgError::Simulation(e)
     }
 }
 

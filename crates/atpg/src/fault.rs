@@ -55,6 +55,14 @@ pub struct FaultModel {
     pub extra_delay: Time,
 }
 
+impl FaultModel {
+    /// Whether two concrete arrivals are close enough for the coupling to
+    /// matter: `|a − b| ≤ alignment_window`.
+    pub fn aligned(&self, a: Time, b: Time) -> bool {
+        (a - b).abs() <= self.alignment_window
+    }
+}
+
 impl Default for FaultModel {
     fn default() -> FaultModel {
         FaultModel {
@@ -88,5 +96,18 @@ mod tests {
         let m = FaultModel::default();
         assert!(m.alignment_window > Time::ZERO);
         assert!(m.extra_delay > Time::ZERO);
+    }
+
+    #[test]
+    fn alignment_is_symmetric_and_bounded() {
+        let m = FaultModel {
+            alignment_window: Time::from_ns(0.3),
+            extra_delay: Time::from_ns(0.5),
+        };
+        let t = Time::from_ns(2.0);
+        assert!(m.aligned(t, t));
+        assert!(m.aligned(t, t + Time::from_ns(0.3)));
+        assert!(m.aligned(t + Time::from_ns(0.3), t));
+        assert!(!m.aligned(t, t + Time::from_ns(0.31)));
     }
 }

@@ -33,12 +33,27 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod error;
 pub mod fault;
 pub mod faulty;
 pub mod podem;
 
+pub use driver::{AtpgDriver, CampaignResult, Replay, SiteOutcome, TestReplayer};
 pub use error::AtpgError;
 pub use fault::{CrosstalkFault, FaultModel};
 pub use faulty::{d_frontier, detected, faulty_frame2};
 pub use podem::{Atpg, AtpgConfig, AtpgStats, FaultOutcome, TestPair};
+
+/// One fast-characterized library shared by every test module in this
+/// crate — characterization is expensive, so paying for it once per test
+/// binary (not once per module-local `OnceLock`) matters.
+#[cfg(test)]
+pub(crate) fn test_library() -> &'static ssdm_cells::CellLibrary {
+    use std::sync::OnceLock;
+    static LIB: OnceLock<ssdm_cells::CellLibrary> = OnceLock::new();
+    LIB.get_or_init(|| {
+        ssdm_cells::CellLibrary::characterize_standard(&ssdm_cells::CharConfig::fast())
+            .expect("characterization")
+    })
+}

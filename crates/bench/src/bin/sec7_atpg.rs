@@ -7,36 +7,29 @@
 //! and disabled under a fixed backtrack budget; the shape to reproduce is
 //! a large efficiency gap in ITR's favor.
 
-use ssdm_atpg::{Atpg, AtpgConfig, AtpgStats, FaultOutcome};
+use ssdm_atpg::{AtpgConfig, AtpgDriver, AtpgStats};
 use ssdm_bench::full_library;
-use ssdm_core::Time;
 use ssdm_netlist::{coupling_sites, suite, Circuit};
-use ssdm_sta::{Sta, StaConfig};
 
 fn campaign(
     circuit: &Circuit,
     lib: &ssdm_cells::CellLibrary,
     sites: &[ssdm_netlist::CrosstalkSite],
     use_itr: bool,
-    clock: Time,
     backtrack_limit: usize,
 ) -> Result<AtpgStats, Box<dyn std::error::Error>> {
+    // Clock derived from the circuit's own STA max delay so slowed
+    // victims can miss setup.
     let cfg = AtpgConfig {
         use_itr,
         backtrack_limit,
-        ..AtpgConfig::default()
-    }
-    .with_clock(clock);
-    let atpg = Atpg::new(circuit, lib, cfg);
-    let mut stats = AtpgStats::default();
-    for &site in sites {
-        match atpg.run_site(site)? {
-            FaultOutcome::Detected(_) => stats.detected += 1,
-            FaultOutcome::Undetectable => stats.undetectable += 1,
-            FaultOutcome::Aborted => stats.aborted += 1,
-        }
-    }
-    Ok(stats)
+        ..AtpgConfig::for_circuit(circuit, lib)?
+    };
+    let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let result = AtpgDriver::new(circuit, lib, cfg)
+        .with_jobs(jobs)
+        .run(sites)?;
+    Ok(result.stats)
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -55,13 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             suite::synthetic(name).expect("suite member")
         };
-        // Clock slightly above the circuit's max delay so slowed victims
-        // can miss setup.
-        let sta = Sta::new(&circuit, &lib, StaConfig::default()).run()?;
-        let clock = sta.endpoint_max_delay(&circuit) * 1.02;
         let sites = coupling_sites(&circuit, n_sites, 7001);
-        let with = campaign(&circuit, &lib, &sites, true, clock, backtracks)?;
-        let without = campaign(&circuit, &lib, &sites, false, clock, backtracks)?;
+        let with = campaign(&circuit, &lib, &sites, true, backtracks)?;
+        let without = campaign(&circuit, &lib, &sites, false, backtracks)?;
         println!(
             "{:<10}{:>7}{:>20.1}%{:>20.1}%   (aborted {} → {})",
             name,

@@ -13,7 +13,7 @@ use ssdm_spice::GateKind;
 use crate::cell::{CharacterizedGate, PairTiming, PinTiming};
 use crate::error::CellError;
 use crate::fit::{D0Surface, Poly1, Quad2};
-use crate::sweep::{CharConfig, Characterizer};
+use crate::sweep::{CharConfig, CharUnit, Characterizer, UnitResult};
 
 const MAGIC: &str = "ssdm-cell-library v2";
 
@@ -83,13 +83,31 @@ impl CellLibrary {
 
     /// Characterizes the standard cell set: `INV`, `NAND2`–`NAND4`,
     /// `NOR2`–`NOR4` at minimum size in the default process. This is the
-    /// paper's "one-time effort" (Section 3.7).
+    /// paper's "one-time effort" (Section 3.7). Uses every available core
+    /// — see [`CellLibrary::characterize_standard_with_jobs`].
     ///
     /// # Errors
     ///
     /// Propagates characterization failures.
     pub fn characterize_standard(config: &CharConfig) -> Result<CellLibrary, CellError> {
-        let mut lib = CellLibrary::new();
+        let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+        CellLibrary::characterize_standard_with_jobs(config, jobs)
+    }
+
+    /// [`CellLibrary::characterize_standard`] with an explicit worker
+    /// count. All cells' characterization units go into one global queue,
+    /// so the workers stay busy even when cells are wildly uneven (a
+    /// NAND4's pair sweeps dwarf an inverter) — per-cell threads would
+    /// idle six workers while the seventh finishes. The assembled library
+    /// is bit-identical for every worker count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates characterization failures.
+    pub fn characterize_standard_with_jobs(
+        config: &CharConfig,
+        jobs: usize,
+    ) -> Result<CellLibrary, CellError> {
         let plan: &[(&str, GateKind, usize)] = &[
             ("INV", GateKind::Inv, 1),
             ("NAND2", GateKind::Nand, 2),
@@ -99,22 +117,45 @@ impl CellLibrary {
             ("NOR3", GateKind::Nor, 3),
             ("NOR4", GateKind::Nor, 4),
         ];
-        // Cells are independent; characterize them on worker threads.
-        let results: Vec<Result<CharacterizedGate, CellError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = plan
-                .iter()
-                .map(|&(name, kind, n)| {
-                    let cfg = config.clone();
-                    scope.spawn(move || Characterizer::min_size(name, kind, n, cfg)?.characterize())
-                })
+        let chars = plan
+            .iter()
+            .map(|&(name, kind, n)| Characterizer::min_size(name, kind, n, config.clone()))
+            .collect::<Result<Vec<_>, CellError>>()?;
+        let queue: Vec<(usize, CharUnit)> = chars
+            .iter()
+            .enumerate()
+            .flat_map(|(ci, ch)| ch.units().into_iter().map(move |u| (ci, u)))
+            .collect();
+        let cursor = std::sync::atomic::AtomicUsize::new(0);
+        let worker = || -> Result<Vec<(usize, UnitResult)>, CellError> {
+            let mut local = Vec::new();
+            loop {
+                let idx = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(ci, unit)) = queue.get(idx) else {
+                    break;
+                };
+                local.push((ci, chars[ci].run_unit(unit)?));
+            }
+            Ok(local)
+        };
+        let per_worker: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs.clamp(1, queue.len().max(1)))
+                .map(|_| scope.spawn(worker))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("characterizer thread panicked"))
                 .collect()
         });
-        for r in results {
-            lib.insert(r?);
+        let mut per_cell: Vec<Vec<UnitResult>> = vec![Vec::new(); chars.len()];
+        for r in per_worker {
+            for (ci, result) in r? {
+                per_cell[ci].push(result);
+            }
+        }
+        let mut lib = CellLibrary::new();
+        for (ch, results) in chars.iter().zip(per_cell) {
+            lib.insert(ch.assemble(results));
         }
         Ok(lib)
     }
@@ -153,12 +194,27 @@ impl CellLibrary {
         path: &std::path::Path,
         config: &CharConfig,
     ) -> Result<CellLibrary, CellError> {
+        let jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+        CellLibrary::load_or_characterize_standard_with_jobs(path, config, jobs)
+    }
+
+    /// [`CellLibrary::load_or_characterize_standard`] with an explicit
+    /// worker count for the characterization fallback.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CellLibrary::load_or_characterize_standard`].
+    pub fn load_or_characterize_standard_with_jobs(
+        path: &std::path::Path,
+        config: &CharConfig,
+        jobs: usize,
+    ) -> Result<CellLibrary, CellError> {
         if let Ok(text) = std::fs::read_to_string(path) {
             if let Ok(lib) = CellLibrary::from_text(&text) {
                 return Ok(lib);
             }
         }
-        let lib = CellLibrary::characterize_standard(config)?;
+        let lib = CellLibrary::characterize_standard_with_jobs(config, jobs)?;
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir).map_err(|e| CellError::Io {
                 path: path.display().to_string(),

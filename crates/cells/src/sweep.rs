@@ -1,5 +1,14 @@
 //! Characterization sweeps: driving the reference simulator to produce the
 //! fit points for every empirical function.
+//!
+//! A characterization decomposes into independent **units** — one per
+//! (output edge, pin), per simultaneous pair, per Miller pair, and per
+//! k-way floor. Units are pure functions of the simulator and the grid,
+//! and they carry their own identity, so a worker pool can run them in
+//! any order and the assembled [`CharacterizedGate`] is still
+//! bit-identical to the serial sweep.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use ssdm_core::{math, Capacitance, Edge, Time, Transition};
 use ssdm_spice::{GateKind, GateSim, PinState, Process};
@@ -7,6 +16,64 @@ use ssdm_spice::{GateKind, GateSim, PinState, Process};
 use crate::cell::{CharacterizedGate, PairTiming, PinTiming};
 use crate::error::CellError;
 use crate::fit::{D0Surface, Poly1, Quad2};
+
+/// One independent characterization work unit (the scheduling granularity
+/// for parallel sweeps).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CharUnit {
+    /// Pin-to-pin fit for one (output edge, input position).
+    Pin {
+        /// Output edge being fitted.
+        out_edge: Edge,
+        /// Input position.
+        pos: usize,
+    },
+    /// Simultaneous to-controlling pair `(i, j)`, `i < j`.
+    Pair {
+        /// Earlier pin.
+        i: usize,
+        /// Later pin.
+        j: usize,
+    },
+    /// Simultaneous to-non-controlling (Miller) pair `(i, j)`, `i < j`.
+    NonctrlPair {
+        /// Earlier pin.
+        i: usize,
+        /// Later pin.
+        j: usize,
+    },
+    /// Zero-skew `k`-way floor.
+    Kway {
+        /// Number of simultaneously switching pins.
+        k: usize,
+    },
+}
+
+/// The measurement a unit produced, tagged with its identity so assembly
+/// can place it canonically regardless of completion order.
+#[derive(Debug, Clone)]
+pub(crate) enum UnitResult {
+    /// Result of [`CharUnit::Pin`].
+    Pin {
+        /// Output edge fitted.
+        out_edge: Edge,
+        /// Input position.
+        pos: usize,
+        /// The fitted pin timing.
+        timing: PinTiming,
+    },
+    /// Result of [`CharUnit::Pair`].
+    Pair(PairTiming),
+    /// Result of [`CharUnit::NonctrlPair`].
+    NonctrlPair(PairTiming),
+    /// Result of [`CharUnit::Kway`].
+    Kway {
+        /// Number of simultaneously switching pins.
+        k: usize,
+        /// The fitted zero-skew floor.
+        floor: Poly1,
+    },
+}
 
 /// Characterization grid configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,30 +221,130 @@ impl Characterizer {
     ///
     /// Propagates simulation and fitting failures.
     pub fn characterize(&self) -> Result<CharacterizedGate, CellError> {
+        let results = self
+            .units()
+            .into_iter()
+            .map(|u| self.run_unit(u))
+            .collect::<Result<Vec<_>, CellError>>()?;
+        Ok(self.assemble(results))
+    }
+
+    /// [`Characterizer::characterize`] with the unit sweeps spread over
+    /// `jobs` worker threads. The result is bit-identical to the serial
+    /// sweep — units are independent and assembly is order-insensitive.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Characterizer::characterize`].
+    pub fn characterize_with_jobs(&self, jobs: usize) -> Result<CharacterizedGate, CellError> {
+        let units = self.units();
+        if jobs <= 1 || units.len() <= 1 {
+            return self.characterize();
+        }
+        let cursor = AtomicUsize::new(0);
+        let worker = || -> Result<Vec<UnitResult>, CellError> {
+            let mut local = Vec::new();
+            loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&unit) = units.get(idx) else { break };
+                local.push(self.run_unit(unit)?);
+            }
+            Ok(local)
+        };
+        let per_worker: Vec<_> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs.min(units.len()))
+                .map(|_| scope.spawn(worker))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("characterization worker panicked"))
+                .collect()
+        });
+        let mut results = Vec::with_capacity(units.len());
+        for r in per_worker {
+            results.extend(r?);
+        }
+        Ok(self.assemble(results))
+    }
+
+    /// The unit decomposition, in the canonical (serial) sweep order.
+    pub(crate) fn units(&self) -> Vec<CharUnit> {
         let n = self.sim.n_inputs();
-        let mut pins: [Vec<PinTiming>; 2] = [Vec::with_capacity(n), Vec::with_capacity(n)];
+        let mut units = Vec::new();
         for out_edge in Edge::BOTH {
             for pos in 0..n {
-                pins[out_edge.index()].push(self.characterize_pin(out_edge, pos)?);
+                units.push(CharUnit::Pin { out_edge, pos });
             }
         }
-        let mut pairs = Vec::new();
-        let mut npairs = Vec::new();
-        if n >= 2 {
-            for i in 0..n {
-                for j in i + 1..n {
-                    pairs.push(self.characterize_pair(i, j)?);
-                    if self.config.nonctrl_pairs {
-                        npairs.push(self.characterize_nonctrl_pair(i, j)?);
-                    }
+        for i in 0..n {
+            for j in i + 1..n {
+                units.push(CharUnit::Pair { i, j });
+                if self.config.nonctrl_pairs {
+                    units.push(CharUnit::NonctrlPair { i, j });
                 }
             }
         }
-        let mut kway = Vec::new();
         for k in 3..=n {
-            kway.push(self.characterize_kway(k)?);
+            units.push(CharUnit::Kway { k });
         }
-        Ok(CharacterizedGate::new(
+        units
+    }
+
+    /// Runs one unit sweep.
+    pub(crate) fn run_unit(&self, unit: CharUnit) -> Result<UnitResult, CellError> {
+        Ok(match unit {
+            CharUnit::Pin { out_edge, pos } => UnitResult::Pin {
+                out_edge,
+                pos,
+                timing: self.characterize_pin(out_edge, pos)?,
+            },
+            CharUnit::Pair { i, j } => UnitResult::Pair(self.characterize_pair(i, j)?),
+            CharUnit::NonctrlPair { i, j } => {
+                UnitResult::NonctrlPair(self.characterize_nonctrl_pair(i, j)?)
+            }
+            CharUnit::Kway { k } => UnitResult::Kway {
+                k,
+                floor: self.characterize_kway(k)?,
+            },
+        })
+    }
+
+    /// Assembles unit results (in any order) into the canonical gate
+    /// layout: pins indexed by (edge, position), pairs sorted `(i, j)`
+    /// lexicographically, k-way floors contiguous from 3.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is not exactly the set produced by running
+    /// every unit from [`Characterizer::units`] — an internal invariant
+    /// of the callers.
+    pub(crate) fn assemble(&self, results: Vec<UnitResult>) -> CharacterizedGate {
+        let n = self.sim.n_inputs();
+        let mut pins: [Vec<Option<PinTiming>>; 2] = [vec![None; n], vec![None; n]];
+        let mut pairs = Vec::new();
+        let mut npairs = Vec::new();
+        let mut kway: Vec<(usize, Poly1)> = Vec::new();
+        for r in results {
+            match r {
+                UnitResult::Pin {
+                    out_edge,
+                    pos,
+                    timing,
+                } => pins[out_edge.index()][pos] = Some(timing),
+                UnitResult::Pair(p) => pairs.push(p),
+                UnitResult::NonctrlPair(p) => npairs.push(p),
+                UnitResult::Kway { k, floor } => kway.push((k, floor)),
+            }
+        }
+        let pins = pins.map(|edge| {
+            edge.into_iter()
+                .map(|p| p.expect("complete unit set"))
+                .collect()
+        });
+        pairs.sort_by_key(|p: &PairTiming| (p.i, p.j));
+        npairs.sort_by_key(|p: &PairTiming| (p.i, p.j));
+        kway.sort_by_key(|&(k, _)| k);
+        CharacterizedGate::new(
             self.name.clone(),
             self.sim.kind(),
             n,
@@ -189,8 +356,8 @@ impl Characterizer {
             pins,
             pairs,
             npairs,
-            kway,
-        ))
+            kway.into_iter().map(|(_, p)| p).collect(),
+        )
     }
 
     /// Input edge producing `out_edge` at the output (all our primitives
@@ -594,6 +761,34 @@ mod tests {
         let (s, val) = v.argmin_over(Bound::unbounded());
         assert_eq!(s, Time::ZERO, "Claim 1: minimum at zero skew");
         assert_eq!(val, v.vertex().1);
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let ch = Characterizer::min_size("NAND2", GateKind::Nand, 2, CharConfig::fast()).unwrap();
+        let serial = ch.characterize().unwrap();
+        let parallel = ch.characterize_with_jobs(4).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn unit_decomposition_covers_the_serial_sweep() {
+        let ch = Characterizer::min_size("NAND3", GateKind::Nand, 3, CharConfig::fast()).unwrap();
+        let units = ch.units();
+        // 2 edges × 3 pins + 3 ctrl pairs + 3 Miller pairs + one 3-way floor.
+        assert_eq!(units.len(), 6 + 3 + 3 + 1);
+        let pins = units
+            .iter()
+            .filter(|u| matches!(u, CharUnit::Pin { .. }))
+            .count();
+        assert_eq!(pins, 6);
+        assert!(units.contains(&CharUnit::Kway { k: 3 }));
+        // Pairs are emitted i < j.
+        for u in &units {
+            if let CharUnit::Pair { i, j } | CharUnit::NonctrlPair { i, j } = u {
+                assert!(i < j);
+            }
+        }
     }
 
     #[test]

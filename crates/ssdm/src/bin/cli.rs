@@ -9,17 +9,19 @@
 //!     Emit a suite circuit (c17, c880s, c1355s, c1908s, c3540s, c7552s)
 //!     as .bench text on stdout.
 //!
-//! ssdm-cli atpg <netlist.bench> <n_faults> [--no-itr]
-//!     Run a crosstalk-delay-fault ATPG campaign and print the statistics.
+//! ssdm-cli atpg <netlist.bench> <n_faults> [--no-itr] [--jobs N]
+//!     Run a crosstalk-delay-fault ATPG campaign with fault dropping over
+//!     N parallel workers and print the statistics.
 //!
-//! ssdm-cli characterize [--full-lib]
-//!     Build (or refresh) the cached cell library and print its summary.
+//! ssdm-cli characterize [--full-lib] [--jobs N]
+//!     Build (or refresh) the cached cell library on N worker threads and
+//!     print its summary.
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ssdm::atpg::{Atpg, AtpgConfig, FaultOutcome};
+use ssdm::atpg::{AtpgConfig, AtpgDriver};
 use ssdm::cells::{CellLibrary, CharConfig};
 use ssdm::netlist::{coupling_sites, parse_bench, suite, Circuit};
 use ssdm::sta::{timing_report, ModelKind, Sta, StaConfig};
@@ -32,15 +34,28 @@ fn cache_path(full: bool) -> PathBuf {
     })
 }
 
-fn load_library(full: bool) -> Result<CellLibrary, Box<dyn std::error::Error>> {
+/// Parses `--jobs N`, defaulting to the available cores.
+fn parse_jobs(args: &[String]) -> Result<usize, Box<dyn std::error::Error>> {
+    match args.iter().position(|a| a == "--jobs") {
+        Some(idx) => args
+            .get(idx + 1)
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| "--jobs needs a positive integer".into()),
+        None => Ok(std::thread::available_parallelism().map_or(1, |n| n.get())),
+    }
+}
+
+fn load_library(full: bool, jobs: usize) -> Result<CellLibrary, Box<dyn std::error::Error>> {
     let config = if full {
         CharConfig::full()
     } else {
         CharConfig::fast()
     };
-    Ok(CellLibrary::load_or_characterize_standard(
+    Ok(CellLibrary::load_or_characterize_standard_with_jobs(
         &cache_path(full),
         &config,
+        jobs,
     )?)
 }
 
@@ -64,7 +79,7 @@ fn cmd_sta(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let pin_to_pin = args.iter().any(|a| a == "--pin-to-pin");
     let full = args.iter().any(|a| a == "--full-lib");
     let circuit = load_circuit(path)?;
-    let lib = load_library(full)?;
+    let lib = load_library(full, parse_jobs(args)?)?;
     let model = if pin_to_pin {
         ModelKind::PinToPin
     } else {
@@ -108,45 +123,36 @@ fn cmd_atpg(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         .parse()
         .map_err(|_| "fault count must be an integer")?;
     let use_itr = !args.iter().any(|a| a == "--no-itr");
+    let jobs = parse_jobs(args)?;
     let circuit = load_circuit(path)?;
-    let lib = load_library(false)?;
-    // Clock just above the circuit's max delay.
-    let sta = Sta::new(&circuit, &lib, StaConfig::default()).run()?;
-    let clock = sta.endpoint_max_delay(&circuit) * 1.02;
+    let lib = load_library(false, jobs)?;
     let sites = coupling_sites(&circuit, n_faults, 42);
-    let atpg = Atpg::new(
-        &circuit,
-        &lib,
-        AtpgConfig {
-            use_itr,
-            ..AtpgConfig::default()
-        }
-        .with_clock(clock),
-    );
-    let mut detected = 0;
-    let mut undetectable = 0;
-    let mut aborted = 0;
-    for &site in &sites {
-        match atpg.run_site(site)? {
-            FaultOutcome::Detected(_) => detected += 1,
-            FaultOutcome::Undetectable => undetectable += 1,
-            FaultOutcome::Aborted => aborted += 1,
-        }
-    }
-    let eff = (detected + undetectable) as f64 / sites.len().max(1) as f64;
+    // Clock derived from the circuit's own STA max delay.
+    let config = AtpgConfig {
+        use_itr,
+        ..AtpgConfig::for_circuit(&circuit, &lib)?
+    };
+    let result = AtpgDriver::new(&circuit, &lib, config)
+        .with_jobs(jobs)
+        .run(&sites)?;
+    let s = result.stats;
     println!(
-        "{}: {} faults, ITR {}: detected {detected}, undetectable {undetectable}, aborted {aborted} → efficiency {:.1}%",
+        "{}: {} faults, ITR {}, {jobs} worker(s): detected {} ({} dropped), undetectable {}, aborted {} → efficiency {:.1}%",
         circuit.name(),
         sites.len(),
         if use_itr { "on" } else { "off" },
-        eff * 100.0
+        s.detected,
+        s.dropped,
+        s.undetectable,
+        s.aborted,
+        s.efficiency() * 100.0
     );
     Ok(())
 }
 
 fn cmd_characterize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let full = args.iter().any(|a| a == "--full-lib");
-    let lib = load_library(full)?;
+    let lib = load_library(full, parse_jobs(args)?)?;
     println!(
         "library {:?} ({} cells): {}",
         cache_path(full),

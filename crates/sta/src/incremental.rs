@@ -64,6 +64,11 @@ pub fn unconstrained_participation(n: usize) -> ParticipationMap {
 
 /// Counters describing how much work the engine has avoided; useful for
 /// benchmark reporting and ATPG diagnostics.
+///
+/// Every engine instance counts only its own work, so under a
+/// multi-worker driver (each worker owning one engine) the per-worker
+/// snapshots are race-free by construction; campaign totals come from
+/// summing them with `+` / `+=`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IncrementalStats {
     /// Full passes (first run and explicit full recomputations).
@@ -82,6 +87,28 @@ pub struct IncrementalStats {
     pub memo_misses: u64,
     /// Times the memo cache hit its size cap and was cleared.
     pub memo_evictions: u64,
+}
+
+impl std::ops::Add for IncrementalStats {
+    type Output = IncrementalStats;
+
+    fn add(self, rhs: IncrementalStats) -> IncrementalStats {
+        IncrementalStats {
+            full_passes: self.full_passes + rhs.full_passes,
+            incremental_passes: self.incremental_passes + rhs.incremental_passes,
+            dirty_seeds: self.dirty_seeds + rhs.dirty_seeds,
+            gates_evaluated: self.gates_evaluated + rhs.gates_evaluated,
+            memo_hits: self.memo_hits + rhs.memo_hits,
+            memo_misses: self.memo_misses + rhs.memo_misses,
+            memo_evictions: self.memo_evictions + rhs.memo_evictions,
+        }
+    }
+}
+
+impl std::ops::AddAssign for IncrementalStats {
+    fn add_assign(&mut self, rhs: IncrementalStats) {
+        *self = *self + rhs;
+    }
 }
 
 /// Gate evaluations beyond this many live memo entries clear the cache
@@ -619,6 +646,25 @@ mod tests {
         let after = eng.stats();
         assert!(after.memo_hits > before.memo_hits);
         assert_eq!(after.memo_misses, before.memo_misses, "revisit recomputed");
+    }
+
+    #[test]
+    fn stats_sum_component_wise() {
+        let a = IncrementalStats {
+            full_passes: 1,
+            incremental_passes: 2,
+            dirty_seeds: 3,
+            gates_evaluated: 4,
+            memo_hits: 5,
+            memo_misses: 6,
+            memo_evictions: 7,
+        };
+        let mut b = a;
+        b += a;
+        assert_eq!(b.full_passes, 2);
+        assert_eq!(b.gates_evaluated, 8);
+        assert_eq!(b.memo_evictions, 14);
+        assert_eq!(a + IncrementalStats::default(), a);
     }
 
     #[test]

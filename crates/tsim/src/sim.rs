@@ -79,6 +79,10 @@ pub struct TimingSim<'a, M> {
     library: &'a CellLibrary,
     model: M,
     config: StaConfig,
+    /// Per-net loads, computed once on first [`TimingSim::run`] — replay
+    /// workloads (fault dropping) call `run` once per generated test, and
+    /// the loads depend only on the circuit, library and configuration.
+    loads: std::sync::OnceLock<Vec<ssdm_core::Capacitance>>,
 }
 
 impl<'a, M: DelayModel> TimingSim<'a, M> {
@@ -89,12 +93,15 @@ impl<'a, M: DelayModel> TimingSim<'a, M> {
             library,
             model,
             config: StaConfig::default(),
+            loads: std::sync::OnceLock::new(),
         }
     }
 
-    /// Overrides the configuration (primary-output load etc.).
+    /// Overrides the configuration (primary-output load etc.), resetting
+    /// any cached loads.
     pub fn with_config(mut self, config: StaConfig) -> TimingSim<'a, M> {
         self.config = config;
+        self.loads = std::sync::OnceLock::new();
         self
     }
 
@@ -114,7 +121,13 @@ impl<'a, M: DelayModel> TimingSim<'a, M> {
             });
         }
         let n = self.circuit.n_nets();
-        let loads = Sta::new(self.circuit, self.library, self.config.clone()).net_loads()?;
+        let loads = match self.loads.get() {
+            Some(l) => l,
+            None => {
+                let l = Sta::new(self.circuit, self.library, self.config.clone()).net_loads()?;
+                self.loads.get_or_init(|| l)
+            }
+        };
         let mut values1 = vec![false; n];
         let mut values2 = vec![false; n];
         let mut events: Vec<Option<Transition>> = vec![None; n];

@@ -244,6 +244,33 @@ proptest! {
         }
     }
 
+    /// The parallel ATPG driver is bit-identical to the serial path for
+    /// any worker count: per-site outcomes (including which sites were
+    /// dropped, and by whom) and the campaign statistics do not depend on
+    /// scheduling. Only the timing-engine diagnostics may differ.
+    #[test]
+    fn parallel_atpg_driver_matches_serial(seed in 0u64..100, jobs in 2usize..8) {
+        use ssdm::atpg::{AtpgConfig, AtpgDriver};
+        use ssdm::netlist::coupling_sites;
+        let cfg = GeneratorConfig::iscas_like("par", 6, 3, 20, seed);
+        let circuit = generate(&cfg);
+        let lib = library();
+        let config = AtpgConfig {
+            backtrack_limit: 8,
+            ..AtpgConfig::for_circuit(&circuit, lib).unwrap()
+        };
+        let sites = coupling_sites(&circuit, 5, seed ^ 0x5eed);
+        let serial = AtpgDriver::new(&circuit, lib, config.clone())
+            .run(&sites)
+            .unwrap();
+        let parallel = AtpgDriver::new(&circuit, lib, config)
+            .with_jobs(jobs)
+            .run(&sites)
+            .unwrap();
+        prop_assert_eq!(&serial.outcomes, &parallel.outcomes);
+        prop_assert_eq!(serial.stats, parallel.stats);
+    }
+
     /// Assigning PI values one at a time only ever shrinks ITR windows.
     #[test]
     fn itr_shrinks_monotonically(bits1 in 0u8..32, bits2 in 0u8..32, order in 0usize..120) {
