@@ -234,6 +234,17 @@ impl<'a> TestReplayer<'a> {
     }
 }
 
+/// Replays a test, recording the wall-clock latency in the
+/// `atpg.replay.latency_ns` histogram when instrumentation is on.
+fn replay_timed(replayer: &TestReplayer<'_>, test: &TestPair) -> Result<Replay, AtpgError> {
+    let t0 = ssdm_obs::enabled().then(std::time::Instant::now);
+    let replay = replayer.replay(test)?;
+    if let Some(t0) = t0 {
+        ssdm_obs::histogram("atpg.replay.latency_ns").record(t0.elapsed().as_nanos() as u64);
+    }
+    Ok(replay)
+}
+
 /// Deterministic steady-biased X-fill (see [`TestReplayer::replay`]).
 fn fill(test: &TestPair) -> (Vec<bool>, Vec<bool>) {
     test.v1
@@ -292,6 +303,7 @@ impl<'a> AtpgDriver<'a> {
     /// Infrastructure failures only ([`AtpgError`]); search outcomes are
     /// data.
     pub fn run(&self, sites: &[CrosstalkSite]) -> Result<CampaignResult, AtpgError> {
+        let _span = ssdm_obs::span("atpg.driver");
         let (speculative, timing) = if self.jobs > 1 && sites.len() > 1 {
             self.speculate(sites)?
         } else {
@@ -312,35 +324,46 @@ impl<'a> AtpgDriver<'a> {
         let n = sites.len();
         let cursor = AtomicUsize::new(0);
         let dropped: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
-        let worker = || -> Result<(Vec<(usize, FaultOutcome)>, IncrementalStats), AtpgError> {
-            let atpg = Atpg::new(self.circuit, self.library, self.config.clone());
-            let replayer = TestReplayer::new(self.circuit, self.library, &self.config)?;
-            let mut local = Vec::new();
-            loop {
-                let j = cursor.fetch_add(1, Ordering::Relaxed);
-                if j >= n {
-                    break;
+        let worker =
+            |w: usize| -> Result<(Vec<(usize, FaultOutcome)>, IncrementalStats), AtpgError> {
+                if ssdm_obs::enabled() {
+                    ssdm_obs::set_thread_label(format!("atpg.worker.{w}"));
                 }
-                if dropped[j].load(Ordering::Acquire) {
-                    // Skipped, not decided: the resolve pass either
-                    // confirms the drop or searches the site itself.
-                    continue;
-                }
-                let outcome = atpg.run_site(sites[j])?;
-                if let FaultOutcome::Detected(test) = &outcome {
-                    let replay = replayer.replay(test)?;
-                    for (k, flag) in dropped.iter().enumerate().skip(j + 1) {
-                        if !flag.load(Ordering::Relaxed) && replayer.covers(&replay, sites[k]) {
-                            flag.store(true, Ordering::Release);
+                let _span = ssdm_obs::span("atpg.speculate");
+                let searched = ssdm_obs::counter("atpg.worker.searched");
+                let skipped = ssdm_obs::counter("atpg.worker.skipped");
+                let atpg = Atpg::new(self.circuit, self.library, self.config.clone());
+                let replayer = TestReplayer::new(self.circuit, self.library, &self.config)?;
+                let mut local = Vec::new();
+                loop {
+                    let j = cursor.fetch_add(1, Ordering::Relaxed);
+                    if j >= n {
+                        break;
+                    }
+                    if dropped[j].load(Ordering::Acquire) {
+                        // Skipped, not decided: the resolve pass either
+                        // confirms the drop or searches the site itself.
+                        skipped.incr();
+                        continue;
+                    }
+                    searched.incr();
+                    let outcome = atpg.run_site(sites[j])?;
+                    if let FaultOutcome::Detected(test) = &outcome {
+                        let replay = replay_timed(&replayer, test)?;
+                        for (k, flag) in dropped.iter().enumerate().skip(j + 1) {
+                            if !flag.load(Ordering::Relaxed) && replayer.covers(&replay, sites[k]) {
+                                flag.store(true, Ordering::Release);
+                            }
                         }
                     }
+                    local.push((j, outcome));
                 }
-                local.push((j, outcome));
-            }
-            Ok((local, atpg.timing_stats()))
-        };
+                Ok((local, atpg.timing_stats()))
+            };
         let results: Vec<_> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..self.jobs).map(|_| scope.spawn(worker)).collect();
+            let handles: Vec<_> = (0..self.jobs)
+                .map(|w| scope.spawn(move || worker(w)))
+                .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("ATPG worker panicked"))
@@ -368,16 +391,24 @@ impl<'a> AtpgDriver<'a> {
         speculative: Vec<Option<FaultOutcome>>,
         mut timing: IncrementalStats,
     ) -> Result<CampaignResult, AtpgError> {
+        let _span = ssdm_obs::span("atpg.resolve");
+        // Campaign-scoped counter instances under stable names: the
+        // public `AtpgStats` is assembled as a view of their values, and
+        // the registry sums every campaign a process runs under the same
+        // `atpg.campaign.*` names.
+        let detected = ssdm_obs::counter("atpg.campaign.detected");
+        let dropped = ssdm_obs::counter("atpg.campaign.dropped");
+        let undetectable = ssdm_obs::counter("atpg.campaign.undetectable");
+        let aborted = ssdm_obs::counter("atpg.campaign.aborted");
         let atpg = Atpg::new(self.circuit, self.library, self.config.clone());
         let replayer = TestReplayer::new(self.circuit, self.library, &self.config)?;
         let n = sites.len();
         let mut dropped_by: Vec<Option<usize>> = vec![None; n];
         let mut outcomes: Vec<SiteOutcome> = Vec::with_capacity(n);
-        let mut stats = AtpgStats::default();
         for (j, slot) in speculative.into_iter().enumerate() {
             if let Some(by) = dropped_by[j] {
-                stats.detected += 1;
-                stats.dropped += 1;
+                detected.incr();
+                dropped.incr();
                 outcomes.push(SiteOutcome::Dropped { by });
                 continue;
             }
@@ -387,7 +418,7 @@ impl<'a> AtpgDriver<'a> {
             };
             if let FaultOutcome::Detected(test) = &outcome {
                 if j + 1 < n {
-                    let replay = replayer.replay(test)?;
+                    let replay = replay_timed(&replayer, test)?;
                     for k in j + 1..n {
                         if dropped_by[k].is_none() && replayer.covers(&replay, sites[k]) {
                             dropped_by[k] = Some(j);
@@ -397,20 +428,26 @@ impl<'a> AtpgDriver<'a> {
             }
             outcomes.push(match outcome {
                 FaultOutcome::Detected(t) => {
-                    stats.detected += 1;
+                    detected.incr();
                     SiteOutcome::Detected(t)
                 }
                 FaultOutcome::Undetectable => {
-                    stats.undetectable += 1;
+                    undetectable.incr();
                     SiteOutcome::Undetectable
                 }
                 FaultOutcome::Aborted => {
-                    stats.aborted += 1;
+                    aborted.incr();
                     SiteOutcome::Aborted
                 }
             });
         }
         timing += atpg.timing_stats();
+        let stats = AtpgStats {
+            detected: detected.get() as usize,
+            undetectable: undetectable.get() as usize,
+            aborted: aborted.get() as usize,
+            dropped: dropped.get() as usize,
+        };
         Ok(CampaignResult {
             outcomes,
             stats,

@@ -153,6 +153,17 @@ fn report_speedup(circuit: &Circuit, lib: &CellLibrary, sites: &[CrosstalkSite])
         cores,
     );
 
+    // One more 8-worker campaign with instrumentation on; the obs run
+    // report lands next to the timing baseline for the CI artifact. Runs
+    // after every timed section so those keep the disabled fast path.
+    let instrumented = ssdm_bench::instrumented_report("atpg_parallel", || {
+        run_driver(circuit, lib, &config, sites, 8)
+    });
+    assert_eq!(
+        instrumented.outcomes, parallel.outcomes,
+        "instrumentation changed campaign outcomes"
+    );
+
     // The worker-scaling bar needs real cores; the dropping payoff is
     // architectural and holds on any machine.
     assert!(

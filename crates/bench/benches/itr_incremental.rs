@@ -68,6 +68,14 @@ fn report_speedup(circuit: &Circuit, lib: &CellLibrary) {
         speedup >= 3.0,
         "incremental refinement below the 3x acceptance bar: {speedup:.2}x"
     );
+
+    // A short instrumented pass (after all timed sections) so the obs run
+    // report documents the dirty-cone and memo behaviour of this workload.
+    ssdm_bench::instrumented_report("itr_incremental", || {
+        for _ in 0..5 {
+            step_incremental(&itr, &base, pi);
+        }
+    });
 }
 
 fn bench_incremental(c: &mut Criterion) {

@@ -40,33 +40,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<10}{:>7}{:>22}{:>22}",
         "circuit", "faults", "efficiency (no ITR)", "efficiency (ITR)"
     );
-    let mut agg_with = AtpgStats::default();
-    let mut agg_without = AtpgStats::default();
-    for (name, n_sites, backtracks) in [("c17", 20, 12), ("c880s", 30, 12), ("c1355s", 30, 12)] {
-        let circuit = if name == "c17" {
-            suite::c17()
-        } else {
-            suite::synthetic(name).expect("suite member")
-        };
-        let sites = coupling_sites(&circuit, n_sites, 7001);
-        let with = campaign(&circuit, &lib, &sites, true, backtracks)?;
-        let without = campaign(&circuit, &lib, &sites, false, backtracks)?;
-        println!(
-            "{:<10}{:>7}{:>20.1}%{:>20.1}%   (aborted {} → {})",
-            name,
-            sites.len(),
-            without.efficiency() * 100.0,
-            with.efficiency() * 100.0,
-            without.aborted,
-            with.aborted
-        );
-        agg_with.detected += with.detected;
-        agg_with.undetectable += with.undetectable;
-        agg_with.aborted += with.aborted;
-        agg_without.detected += without.detected;
-        agg_without.undetectable += without.undetectable;
-        agg_without.aborted += without.aborted;
-    }
+    // The whole experiment runs instrumented; the obs run report (span
+    // tree, counters, histograms) lands next to `BENCH_atpg.json`.
+    let (agg_with, agg_without) = ssdm_bench::instrumented_report("sec7_atpg", || {
+        let mut agg_with = AtpgStats::default();
+        let mut agg_without = AtpgStats::default();
+        for (name, n_sites, backtracks) in [("c17", 20, 12), ("c880s", 30, 12), ("c1355s", 30, 12)]
+        {
+            let circuit = if name == "c17" {
+                suite::c17()
+            } else {
+                suite::synthetic(name).expect("suite member")
+            };
+            let sites = coupling_sites(&circuit, n_sites, 7001);
+            let with = campaign(&circuit, &lib, &sites, true, backtracks)?;
+            let without = campaign(&circuit, &lib, &sites, false, backtracks)?;
+            println!(
+                "{:<10}{:>7}{:>20.1}%{:>20.1}%   (aborted {} → {})",
+                name,
+                sites.len(),
+                without.efficiency() * 100.0,
+                with.efficiency() * 100.0,
+                without.aborted,
+                with.aborted
+            );
+            agg_with.detected += with.detected;
+            agg_with.undetectable += with.undetectable;
+            agg_with.aborted += with.aborted;
+            agg_without.detected += without.detected;
+            agg_without.undetectable += without.undetectable;
+            agg_without.aborted += without.aborted;
+        }
+        Ok::<_, Box<dyn std::error::Error>>((agg_with, agg_without))
+    })?;
     println!();
     println!(
         "overall: {:.2}% → {:.2}%   (paper: 39.63% → 82.75%)",

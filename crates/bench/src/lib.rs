@@ -42,6 +42,27 @@ pub fn fast_library() -> Result<CellLibrary, CellError> {
     )
 }
 
+/// Runs `f` with `ssdm-obs` instrumentation enabled and writes the JSON
+/// run report to `OBS_<bench>.json` at the workspace root, next to
+/// `BENCH_atpg.json`. The registry is reset before and after, so timed
+/// sections elsewhere in the harness keep the disabled fast path and the
+/// report covers exactly this one run.
+pub fn instrumented_report<T>(bench: &str, f: impl FnOnce() -> T) -> T {
+    ssdm_obs::reset();
+    ssdm_obs::set_thread_label("main");
+    ssdm_obs::set_enabled(true);
+    let out = f();
+    ssdm_obs::set_enabled(false);
+    let report = ssdm_obs::capture();
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("../../OBS_{bench}.json"));
+    match std::fs::write(&path, report.to_json()) {
+        Ok(()) => println!("{bench}: obs run report written to {}", path.display()),
+        Err(e) => eprintln!("{bench}: could not write {}: {e}", path.display()),
+    }
+    ssdm_obs::reset();
+    out
+}
+
 /// Formats one row of right-aligned numeric columns after a left-aligned
 /// label.
 pub fn row(label: &str, values: &[f64]) -> String {

@@ -221,10 +221,16 @@ impl Characterizer {
     ///
     /// Propagates simulation and fitting failures.
     pub fn characterize(&self) -> Result<CharacterizedGate, CellError> {
+        let _span = ssdm_obs::span("cells.sweep");
+        let units_done = ssdm_obs::counter("cells.sweep.units");
         let results = self
             .units()
             .into_iter()
-            .map(|u| self.run_unit(u))
+            .map(|u| {
+                let r = self.run_unit(u);
+                units_done.incr();
+                r
+            })
             .collect::<Result<Vec<_>, CellError>>()?;
         Ok(self.assemble(results))
     }
@@ -241,19 +247,26 @@ impl Characterizer {
         if jobs <= 1 || units.len() <= 1 {
             return self.characterize();
         }
+        let _span = ssdm_obs::span("cells.sweep.parallel");
         let cursor = AtomicUsize::new(0);
-        let worker = || -> Result<Vec<UnitResult>, CellError> {
+        let worker = |w: usize| -> Result<Vec<UnitResult>, CellError> {
+            if ssdm_obs::enabled() {
+                ssdm_obs::set_thread_label(format!("cells.worker.{w}"));
+            }
+            let _span = ssdm_obs::span("cells.sweep.chunk");
+            let units_done = ssdm_obs::counter("cells.sweep.units");
             let mut local = Vec::new();
             loop {
                 let idx = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&unit) = units.get(idx) else { break };
                 local.push(self.run_unit(unit)?);
+                units_done.incr();
             }
             Ok(local)
         };
         let per_worker: Vec<_> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..jobs.min(units.len()))
-                .map(|_| scope.spawn(worker))
+                .map(|w| scope.spawn(move || worker(w)))
                 .collect();
             handles
                 .into_iter()

@@ -14,7 +14,7 @@
 //! Both paths run logic implication first, so a single call sees the full
 //! transitive consequences of the caller's assignments.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 
 use ssdm_cells::CellLibrary;
 use ssdm_core::{Bound, Edge, Time};
@@ -37,6 +37,9 @@ pub struct Itr<'a> {
     /// [`Itr::refine`] callable through `&self` (ATPG holds the refiner
     /// by shared reference while mutating its own search state).
     engine: RefCell<Option<IncrementalSta<'a>>>,
+    /// Counters banked from engines dropped by [`Itr::rebuild_engine`],
+    /// so [`Itr::stats`] stays monotone across rebuilds.
+    retired_stats: Cell<IncrementalStats>,
 }
 
 /// Refined timing windows under a partial two-frame assignment.
@@ -100,6 +103,7 @@ impl<'a> Itr<'a> {
             library,
             config,
             engine: RefCell::new(None),
+            retired_stats: Cell::new(IncrementalStats::default()),
         }
     }
 
@@ -136,6 +140,7 @@ impl<'a> Itr<'a> {
     /// * [`ItrError::Logic`] — the assignment is self-inconsistent;
     /// * [`ItrError::Sta`] — cell lookup / propagation failure.
     pub fn refine(&self, assignments: &mut Assignments) -> Result<ItrResult, ItrError> {
+        let _span = ssdm_obs::span("itr.refine");
         imply(self.circuit, assignments)?;
         let part = self.participation_map(assignments);
         let mut slot = self.engine.borrow_mut();
@@ -155,14 +160,32 @@ impl<'a> Itr<'a> {
         })
     }
 
-    /// Counters from the shared incremental engine (zeroes before the
-    /// first [`Itr::refine`] call).
+    /// Counters accumulated over this refiner's whole lifetime: the live
+    /// engine's counters plus everything banked from engines retired by
+    /// [`Itr::rebuild_engine`]. Monotone non-decreasing — zeroes before
+    /// the first [`Itr::refine`] call.
     pub fn stats(&self) -> IncrementalStats {
-        self.engine
-            .borrow()
-            .as_ref()
-            .map(|e| e.stats())
-            .unwrap_or_default()
+        self.retired_stats.get()
+            + self
+                .engine
+                .borrow()
+                .as_ref()
+                .map(|e| e.stats())
+                .unwrap_or_default()
+    }
+
+    /// Drops the incremental engine (memo cache, window state), forcing
+    /// the next [`Itr::refine`] to rebuild it with a fresh full pass.
+    ///
+    /// This is the memory-release valve for long campaigns: the memo
+    /// cache and per-net state of a retired engine are freed, while its
+    /// work counters are banked first so [`Itr::stats`] never goes
+    /// backwards across a rebuild.
+    pub fn rebuild_engine(&self) {
+        if let Some(engine) = self.engine.borrow_mut().take() {
+            self.retired_stats
+                .set(self.retired_stats.get() + engine.stats());
+        }
     }
 
     /// Recomputes all timing windows from scratch, ignoring and not
@@ -176,6 +199,7 @@ impl<'a> Itr<'a> {
     ///
     /// Same conditions as [`Itr::refine`].
     pub fn refine_full(&self, assignments: &mut Assignments) -> Result<ItrResult, ItrError> {
+        let _span = ssdm_obs::span("itr.refine_full");
         imply(self.circuit, assignments)?;
         let sta = Sta::new(self.circuit, self.library, self.config.clone());
         let loads = sta.net_loads()?;
@@ -458,6 +482,29 @@ mod tests {
         let g16 = c.find("16").unwrap();
         assert!(r.line(g16).rise.is_some());
         assert!(r.line(g16).fall.is_some());
+    }
+
+    #[test]
+    fn stats_survive_engine_rebuild() {
+        let c = suite::c17();
+        let itr = Itr::new(&c, library(), StaConfig::default());
+        let mut a = Assignments::new(c.n_nets());
+        itr.refine(&mut a).unwrap();
+        a.set(c.inputs()[0], V2::transition(Edge::Rise)).unwrap();
+        itr.refine(&mut a).unwrap();
+        let before = itr.stats();
+        assert!(before.full_passes >= 1 && before.incremental_passes >= 1);
+        itr.rebuild_engine();
+        assert_eq!(itr.stats(), before, "rebuild must bank, not reset");
+        // Rebuilding twice in a row (no live engine) is harmless.
+        itr.rebuild_engine();
+        assert_eq!(itr.stats(), before);
+        // Work after the rebuild accumulates on top of the banked values.
+        let mut b = Assignments::new(c.n_nets());
+        itr.refine(&mut b).unwrap();
+        let after = itr.stats();
+        assert_eq!(after.full_passes, before.full_passes + 1);
+        assert!(after.gates_evaluated > before.gates_evaluated);
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! Minimal JSON emission helpers (the workspace builds offline, so no
+//! serde); only what the reporters need: escaped strings, integers and
+//! fixed-precision floats.
+
+use std::fmt::Write;
+
+/// Appends `s` as a JSON string literal (with quotes) to `out`.
+pub(crate) fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `"key": ` to `out`.
+pub(crate) fn push_key(out: &mut String, key: &str) {
+    push_str_lit(out, key);
+    out.push_str(": ");
+}
+
+/// Appends a float with three decimal places (microsecond timestamps).
+pub(crate) fn push_micros(out: &mut String, ns: u64) {
+    let _ = write!(out, "{:.3}", ns as f64 / 1_000.0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        push_str_lit(&mut out, "a\"b\\c\nd\u{0001}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn micros_have_fixed_precision() {
+        let mut out = String::new();
+        push_micros(&mut out, 1_234_567);
+        assert_eq!(out, "1234.567");
+    }
+}

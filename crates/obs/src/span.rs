@@ -1,0 +1,228 @@
+//! RAII timing spans with per-thread logs.
+
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::registry::Registry;
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One finished span: what ran, when, for how long, and how deeply
+/// nested it was on its thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Dotted span name (e.g. `atpg.search`).
+    pub name: String,
+    /// Start time in nanoseconds since the registry epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Nesting depth on the recording thread (0 = top level).
+    pub depth: u32,
+}
+
+impl SpanRecord {
+    /// End time in nanoseconds since the registry epoch.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns + self.dur_ns
+    }
+}
+
+/// A thread's span log, registered with the global registry so reporters
+/// can walk every timeline.
+pub(crate) struct ThreadLog {
+    pub(crate) tid: u64,
+    pub(crate) label: Mutex<String>,
+    pub(crate) records: Mutex<Vec<SpanRecord>>,
+}
+
+impl ThreadLog {
+    pub(crate) fn new(tid: u64) -> ThreadLog {
+        ThreadLog {
+            tid,
+            label: Mutex::new(String::new()),
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn label(&self) -> String {
+        lock(&self.label).clone()
+    }
+
+    pub(crate) fn records(&self) -> Vec<SpanRecord> {
+        lock(&self.records).clone()
+    }
+
+    pub(crate) fn clear(&self) {
+        lock(&self.records).clear();
+    }
+
+    fn push(&self, record: SpanRecord) {
+        lock(&self.records).push(record);
+    }
+}
+
+struct LocalState {
+    log: Arc<ThreadLog>,
+    depth: Cell<u32>,
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<LocalState>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's log, registering the thread on first use.
+/// Silently skips during thread teardown (TLS already destroyed).
+fn with_local<R>(f: impl FnOnce(&LocalState) -> R) -> Option<R> {
+    LOCAL
+        .try_with(|slot| {
+            let mut slot = slot.borrow_mut();
+            let state = slot.get_or_insert_with(|| LocalState {
+                log: Registry::global().register_thread(),
+                depth: Cell::new(0),
+            });
+            f(state)
+        })
+        .ok()
+}
+
+/// Labels the current thread's timeline lane (e.g. `atpg.worker.3`).
+/// Shows up as the thread name in the Chrome trace and the JSON report.
+pub fn set_thread_label(label: impl Into<String>) {
+    let label = label.into();
+    with_local(|state| *lock(&state.log.label) = label);
+}
+
+struct OpenSpan {
+    name: Cow<'static, str>,
+    start_ns: u64,
+    depth: u32,
+}
+
+/// RAII guard returned by [`span`]; records the span when dropped.
+/// Inert (a `None`) when instrumentation was disabled at creation.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct Span {
+    open: Option<OpenSpan>,
+}
+
+impl std::fmt::Debug for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.open {
+            Some(o) => write!(f, "Span({:?})", o.name),
+            None => write!(f, "Span(disabled)"),
+        }
+    }
+}
+
+/// Opens a timing span on the current thread.
+///
+/// While instrumentation is disabled this is one relaxed atomic load and
+/// returns an inert guard — no clock read, no allocation, no lock.
+#[inline]
+pub fn span(name: impl Into<Cow<'static, str>>) -> Span {
+    let registry = Registry::global();
+    if !registry.enabled() {
+        return Span { open: None };
+    }
+    let depth = with_local(|state| {
+        let d = state.depth.get();
+        state.depth.set(d + 1);
+        d
+    })
+    .unwrap_or(0);
+    Span {
+        open: Some(OpenSpan {
+            name: name.into(),
+            start_ns: registry.now_ns(),
+            depth,
+        }),
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        let end_ns = Registry::global().now_ns();
+        with_local(|state| {
+            // Restore rather than decrement: self-heals if enable was
+            // toggled (or a guard leaked) while this span was open.
+            state.depth.set(open.depth);
+            state.log.push(SpanRecord {
+                name: open.name.clone().into_owned(),
+                start_ns: open.start_ns,
+                dur_ns: end_ns.saturating_sub(open.start_ns),
+                depth: open.depth,
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_threads_get_their_own_lanes() {
+        let _guard = crate::tests::serial();
+        crate::reset();
+        crate::set_enabled(true);
+        std::thread::scope(|scope| {
+            for i in 0..3 {
+                scope.spawn(move || {
+                    set_thread_label(format!("test.lane.{i}"));
+                    let _s = span("test.lane.work");
+                });
+            }
+        });
+        crate::set_enabled(false);
+        let report = crate::capture();
+        let lanes: Vec<_> = report
+            .threads
+            .iter()
+            .filter(|t| t.label.starts_with("test.lane."))
+            .collect();
+        assert_eq!(lanes.len(), 3);
+        let mut tids: Vec<u64> = lanes.iter().map(|t| t.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "each thread has a distinct tid");
+        for lane in lanes {
+            assert_eq!(lane.spans.len(), 1);
+            assert_eq!(lane.spans[0].name, "test.lane.work");
+        }
+    }
+
+    #[test]
+    fn depth_restores_after_nested_drops() {
+        let _guard = crate::tests::serial();
+        crate::reset();
+        crate::set_enabled(true);
+        {
+            let _a = span("test.depth.a");
+            {
+                let _b = span("test.depth.b");
+            }
+            {
+                let _c = span("test.depth.c");
+            }
+        }
+        crate::set_enabled(false);
+        let report = crate::capture();
+        let spans: Vec<_> = report
+            .threads
+            .iter()
+            .flat_map(|t| &t.spans)
+            .filter(|s| s.name.starts_with("test.depth."))
+            .collect();
+        let depth_of = |n: &str| spans.iter().find(|s| s.name == n).unwrap().depth;
+        assert_eq!(depth_of("test.depth.a"), 0);
+        assert_eq!(depth_of("test.depth.b"), 1);
+        assert_eq!(depth_of("test.depth.c"), 1, "sibling reuses the depth");
+    }
+}

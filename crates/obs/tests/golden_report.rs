@@ -1,0 +1,176 @@
+//! Golden-file coverage for the machine-readable reporters.
+//!
+//! The JSON run report is a contract consumed by CI artifact tooling, so
+//! its rendering is pinned byte-for-byte against a checked-in golden file
+//! built from a fully deterministic [`Report`]. Regenerate with
+//! `UPDATE_GOLDEN=1 cargo test -p ssdm-obs --test golden_report` after an
+//! intentional schema change, and review the diff.
+
+use std::collections::BTreeMap;
+
+use ssdm_obs::{HistogramSnapshot, Report, SpanRecord, ThreadReport};
+
+/// A hand-built report with fixed timestamps: one main thread with a
+/// nested driver/resolve pair and one labeled worker with two faults.
+fn sample_report() -> Report {
+    let mut counters = BTreeMap::new();
+    counters.insert("atpg.campaign.detected".to_string(), 12);
+    counters.insert("atpg.podem.backtracks".to_string(), 97);
+    counters.insert("sta.incremental.memo_hits".to_string(), 340);
+    let mut histograms = BTreeMap::new();
+    histograms.insert(
+        "sta.refine.cone_gates".to_string(),
+        HistogramSnapshot {
+            count: 4,
+            sum: 22,
+            min: 2,
+            max: 12,
+            p50: 6,
+            p90: 12,
+            p99: 12,
+        },
+    );
+    let threads = vec![
+        ThreadReport {
+            tid: 0,
+            label: "main".to_string(),
+            spans: vec![
+                SpanRecord {
+                    name: "atpg.resolve".to_string(),
+                    start_ns: 6_000,
+                    dur_ns: 3_500,
+                    depth: 1,
+                },
+                SpanRecord {
+                    name: "atpg.driver".to_string(),
+                    start_ns: 1_000,
+                    dur_ns: 9_000,
+                    depth: 0,
+                },
+            ],
+        },
+        ThreadReport {
+            tid: 1,
+            label: "atpg.worker.0".to_string(),
+            spans: vec![
+                SpanRecord {
+                    name: "atpg.fault".to_string(),
+                    start_ns: 2_000,
+                    dur_ns: 1_000,
+                    depth: 1,
+                },
+                SpanRecord {
+                    name: "atpg.fault".to_string(),
+                    start_ns: 3_200,
+                    dur_ns: 1_200,
+                    depth: 1,
+                },
+                SpanRecord {
+                    name: "atpg.speculate".to_string(),
+                    start_ns: 1_500,
+                    dur_ns: 4_000,
+                    depth: 0,
+                },
+            ],
+        },
+    ];
+    Report {
+        counters,
+        histograms,
+        threads,
+    }
+}
+
+#[test]
+fn json_report_matches_golden_file() {
+    let got = sample_report().to_json();
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/report.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("write golden");
+    }
+    let want = include_str!("golden/report.json");
+    assert_eq!(
+        got, want,
+        "JSON run report drifted from tests/golden/report.json; if the \
+         schema change is intentional, regenerate with UPDATE_GOLDEN=1 \
+         and bump the schema version"
+    );
+}
+
+#[test]
+fn json_report_declares_schema_version() {
+    assert!(sample_report()
+        .to_json()
+        .contains("\"schema\": \"ssdm-obs/1\""));
+}
+
+/// Pulls `"key": value` out of a single-line trace event without a JSON
+/// parser (values are numbers or quoted strings, never nested objects —
+/// except `args`, which no caller asks for).
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let i = line.find(&pat)? + pat.len();
+    let rest = &line[i..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+/// Checks the Chrome-trace invariants Perfetto relies on: every `B` has a
+/// matching same-thread `E`, nesting never goes negative, and timestamps
+/// are monotone non-decreasing within each thread.
+fn assert_trace_valid(trace: &str) {
+    assert!(trace.starts_with("{\"traceEvents\": ["));
+    assert!(trace.ends_with("], \"displayTimeUnit\": \"ms\"}\n"));
+    let mut depth: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut events = 0usize;
+    for line in trace.lines() {
+        let Some(ph) = field(line, "ph") else {
+            continue;
+        };
+        if ph == "M" {
+            continue;
+        }
+        events += 1;
+        let tid: u64 = field(line, "tid").unwrap().parse().unwrap();
+        let ts: f64 = field(line, "ts").unwrap().parse().unwrap();
+        let name = field(line, "name").unwrap().to_string();
+        let prev = last_ts.insert(tid, ts).unwrap_or(f64::NEG_INFINITY);
+        assert!(
+            ts >= prev,
+            "timestamps regressed on tid {tid}: {prev} then {ts}"
+        );
+        let stack = depth.entry(tid).or_default();
+        match ph {
+            "B" => stack.push(name),
+            "E" => {
+                let open = stack.pop().unwrap_or_else(|| {
+                    panic!("E event for {name:?} on tid {tid} with no open span")
+                });
+                assert_eq!(open, name, "mismatched B/E pair on tid {tid}");
+            }
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(events > 0, "trace contains no duration events");
+    for (tid, stack) in &depth {
+        assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+    }
+}
+
+#[test]
+fn chrome_trace_is_well_formed() {
+    assert_trace_valid(&sample_report().to_chrome_trace());
+}
+
+#[test]
+fn chrome_trace_names_every_thread() {
+    let trace = sample_report().to_chrome_trace();
+    let meta: Vec<&str> = trace
+        .lines()
+        .filter(|l| field(l, "ph") == Some("M"))
+        .collect();
+    assert_eq!(meta.len(), 2);
+    assert!(meta[0].contains("\"name\": \"main\""));
+    assert!(meta[1].contains("\"name\": \"atpg.worker.0\""));
+}

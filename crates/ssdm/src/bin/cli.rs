@@ -17,6 +17,18 @@
 //!     Build (or refresh) the cached cell library on N worker threads and
 //!     print its summary.
 //! ```
+//!
+//! Every command additionally accepts the observability flags:
+//!
+//! ```text
+//! --metrics-out <file.json>    write the ssdm-obs JSON run report
+//! --trace-out <file.json>      write a Chrome trace-event file
+//!                              (load it at https://ui.perfetto.dev)
+//! ```
+//!
+//! Either flag enables instrumentation for the run and prints an
+//! end-of-run summary table (span tree, counters, histograms) to stderr.
+//! Campaign outcomes are bit-identical with and without instrumentation.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -32,6 +44,59 @@ fn cache_path(full: bool) -> PathBuf {
     } else {
         "library-fast.txt"
     })
+}
+
+/// Parses an option taking a path value (e.g. `--metrics-out m.json`).
+fn parse_path_opt(
+    args: &[String],
+    flag: &str,
+) -> Result<Option<PathBuf>, Box<dyn std::error::Error>> {
+    match args.iter().position(|a| a == flag) {
+        Some(idx) => args
+            .get(idx + 1)
+            .map(|s| Some(PathBuf::from(s)))
+            .ok_or_else(|| format!("{flag} needs a file path").into()),
+        None => Ok(None),
+    }
+}
+
+/// The observability flags shared by every command.
+struct ObsArgs {
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+}
+
+impl ObsArgs {
+    fn parse(args: &[String]) -> Result<ObsArgs, Box<dyn std::error::Error>> {
+        Ok(ObsArgs {
+            metrics_out: parse_path_opt(args, "--metrics-out")?,
+            trace_out: parse_path_opt(args, "--trace-out")?,
+        })
+    }
+
+    fn active(&self) -> bool {
+        self.metrics_out.is_some() || self.trace_out.is_some()
+    }
+
+    /// Captures the run report, writes the requested files and prints the
+    /// summary table (to stderr, keeping stdout parseable).
+    fn finish(&self) -> Result<(), Box<dyn std::error::Error>> {
+        if !self.active() {
+            return Ok(());
+        }
+        ssdm::obs::set_enabled(false);
+        let report = ssdm::obs::capture();
+        if let Some(path) = &self.metrics_out {
+            std::fs::write(path, report.to_json())?;
+            eprintln!("metrics written to {}", path.display());
+        }
+        if let Some(path) = &self.trace_out {
+            std::fs::write(path, report.to_chrome_trace())?;
+            eprintln!("trace written to {} (open in Perfetto)", path.display());
+        }
+        eprint!("{}", report.to_text());
+        Ok(())
+    }
 }
 
 /// Parses `--jobs N`, defaulting to the available cores.
@@ -173,16 +238,24 @@ fn cmd_characterize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let result = match args.split_first() {
-        Some((cmd, rest)) => match cmd.as_str() {
-            "sta" => cmd_sta(rest),
-            "gen" => cmd_gen(rest),
-            "atpg" => cmd_atpg(rest),
-            "characterize" => cmd_characterize(rest),
-            other => Err(format!("unknown command {other:?}").into()),
-        },
-        None => Err("usage: ssdm-cli <sta|gen|atpg|characterize> …  (see crate docs)".into()),
-    };
+    let result = (|| -> Result<(), Box<dyn std::error::Error>> {
+        let (cmd, rest) = args
+            .split_first()
+            .ok_or("usage: ssdm-cli <sta|gen|atpg|characterize> …  (see crate docs)")?;
+        let obs_args = ObsArgs::parse(rest)?;
+        if obs_args.active() {
+            ssdm::obs::set_thread_label("main");
+            ssdm::obs::set_enabled(true);
+        }
+        match cmd.as_str() {
+            "sta" => cmd_sta(rest)?,
+            "gen" => cmd_gen(rest)?,
+            "atpg" => cmd_atpg(rest)?,
+            "characterize" => cmd_characterize(rest)?,
+            other => return Err(format!("unknown command {other:?}").into()),
+        }
+        obs_args.finish()
+    })();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

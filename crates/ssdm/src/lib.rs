@@ -16,6 +16,7 @@
 //! | [`itr`] | `ssdm-itr` | incremental timing refinement |
 //! | [`atpg`] | `ssdm-atpg` | crosstalk-delay-fault test generation |
 //! | [`tsim`] | `ssdm-tsim` | event-driven two-frame timing simulation |
+//! | [`obs`] | `ssdm-obs` | timing spans, metrics and trace export |
 //!
 //! The runnable entry points live in `examples/` (see the repository
 //! README) and the per-figure experiment binaries in the `ssdm-bench`
@@ -50,6 +51,7 @@ pub use ssdm_itr as itr;
 pub use ssdm_logic as logic;
 pub use ssdm_models as models;
 pub use ssdm_netlist as netlist;
+pub use ssdm_obs as obs;
 pub use ssdm_spice as spice;
 pub use ssdm_sta as sta;
 pub use ssdm_tsim as tsim;

@@ -116,6 +116,7 @@ impl<'a> Sta<'a> {
     ///
     /// Panics when `threads` is zero.
     pub fn run_parallel(&self, threads: usize) -> Result<StaResult, StaError> {
+        let _span = ssdm_obs::span("sta.run.parallel");
         let mut engine = crate::incremental::IncrementalSta::new(
             self.circuit,
             self.library,
@@ -133,6 +134,7 @@ impl<'a> Sta<'a> {
     ///
     /// Fails on unmappable gates or missing library cells.
     pub fn run(&self) -> Result<StaResult, StaError> {
+        let _span = ssdm_obs::span("sta.run");
         let n = self.circuit.n_nets();
         let loads = self.net_loads()?;
         let mut lines = vec![LineTiming::default(); n];

@@ -69,6 +69,13 @@ pub fn unconstrained_participation(n: usize) -> ParticipationMap {
 /// multi-worker driver (each worker owning one engine) the per-worker
 /// snapshots are race-free by construction; campaign totals come from
 /// summing them with `+` / `+=`.
+///
+/// This struct is a *snapshot view*: the engine's live counters are
+/// `ssdm-obs` [`Counter`](ssdm_obs::Counter) instances registered under
+/// the `sta.incremental.*` names, so the same numbers also aggregate
+/// across every engine a process ever built via
+/// [`ssdm_obs::counter_total`] — including engines that have since been
+/// dropped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IncrementalStats {
     /// Full passes (first run and explicit full recomputations).
@@ -108,6 +115,48 @@ impl std::ops::Add for IncrementalStats {
 impl std::ops::AddAssign for IncrementalStats {
     fn add_assign(&mut self, rhs: IncrementalStats) {
         *self = *self + rhs;
+    }
+}
+
+/// One engine instance's live work counters, registered with the
+/// `ssdm-obs` registry under stable `sta.incremental.*` names. Each
+/// instance owns private atomic cells (an uncontended relaxed `fetch_add`
+/// per event — as cheap as the plain integer fields they replaced), and
+/// the registry sums instances per name, so campaign-wide totals need no
+/// bespoke `Add` plumbing.
+struct EngineCounters {
+    full_passes: ssdm_obs::Counter,
+    incremental_passes: ssdm_obs::Counter,
+    dirty_seeds: ssdm_obs::Counter,
+    gates_evaluated: ssdm_obs::Counter,
+    memo_hits: ssdm_obs::Counter,
+    memo_misses: ssdm_obs::Counter,
+    memo_evictions: ssdm_obs::Counter,
+}
+
+impl EngineCounters {
+    fn new() -> EngineCounters {
+        EngineCounters {
+            full_passes: ssdm_obs::counter("sta.incremental.full_passes"),
+            incremental_passes: ssdm_obs::counter("sta.incremental.incremental_passes"),
+            dirty_seeds: ssdm_obs::counter("sta.incremental.dirty_seeds"),
+            gates_evaluated: ssdm_obs::counter("sta.incremental.gates_evaluated"),
+            memo_hits: ssdm_obs::counter("sta.incremental.memo_hits"),
+            memo_misses: ssdm_obs::counter("sta.incremental.memo_misses"),
+            memo_evictions: ssdm_obs::counter("sta.incremental.memo_evictions"),
+        }
+    }
+
+    fn snapshot(&self) -> IncrementalStats {
+        IncrementalStats {
+            full_passes: self.full_passes.get(),
+            incremental_passes: self.incremental_passes.get(),
+            dirty_seeds: self.dirty_seeds.get(),
+            gates_evaluated: self.gates_evaluated.get(),
+            memo_hits: self.memo_hits.get(),
+            memo_misses: self.memo_misses.get(),
+            memo_evictions: self.memo_evictions.get(),
+        }
     }
 }
 
@@ -179,7 +228,7 @@ pub struct IncrementalSta<'a> {
     used: Vec<DelaysUsed>,
     inverting: Vec<bool>,
     memo: HashMap<MemoKey, (LineTiming, DelaysUsed)>,
-    stats: IncrementalStats,
+    counters: EngineCounters,
     primed: bool,
 }
 
@@ -189,7 +238,7 @@ impl std::fmt::Debug for IncrementalSta<'_> {
             .field("circuit", &self.circuit.name())
             .field("primed", &self.primed)
             .field("memo_entries", &self.memo.len())
-            .field("stats", &self.stats)
+            .field("stats", &self.counters.snapshot())
             .finish()
     }
 }
@@ -253,7 +302,7 @@ impl<'a> IncrementalSta<'a> {
             used: vec![Vec::new(); n],
             inverting,
             memo: HashMap::new(),
-            stats: IncrementalStats::default(),
+            counters: EngineCounters::new(),
             primed: false,
         })
     }
@@ -345,19 +394,19 @@ impl<'a> IncrementalSta<'a> {
 
     /// Evaluates one net through the memo cache.
     fn eval_gate(&mut self, idx: usize) -> Result<(LineTiming, DelaysUsed), StaError> {
-        self.stats.gates_evaluated += 1;
+        self.counters.gates_evaluated.incr();
         let Some(key) = self.memo_key(idx) else {
             return self.eval_gate_uncached(idx);
         };
         if let Some(hit) = self.memo.get(&key) {
-            self.stats.memo_hits += 1;
+            self.counters.memo_hits.incr();
             return Ok(hit.clone());
         }
-        self.stats.memo_misses += 1;
+        self.counters.memo_misses.incr();
         let value = self.eval_gate_uncached(idx)?;
         if self.memo.len() >= MEMO_CAP {
             self.memo.clear();
-            self.stats.memo_evictions += 1;
+            self.counters.memo_evictions.incr();
         }
         self.memo.insert(key, value.clone());
         Ok(value)
@@ -375,8 +424,9 @@ impl<'a> IncrementalSta<'a> {
     /// Panics when `part.len()` differs from the circuit's net count.
     pub fn full_pass(&mut self, part: &[[Participation; 2]]) -> Result<(), StaError> {
         assert_eq!(part.len(), self.circuit.n_nets(), "participation size");
+        let _span = ssdm_obs::span("sta.full_pass");
         self.part.copy_from_slice(part);
-        self.stats.full_passes += 1;
+        self.counters.full_passes.incr();
         for id in self.circuit.topo() {
             let (lt, du) = self.eval_gate(id.index())?;
             self.lines[id.index()] = lt;
@@ -406,8 +456,9 @@ impl<'a> IncrementalSta<'a> {
     ) -> Result<(), StaError> {
         assert_eq!(part.len(), self.circuit.n_nets(), "participation size");
         assert!(threads > 0, "at least one thread");
+        let _span = ssdm_obs::span("sta.full_pass.parallel");
         self.part.copy_from_slice(part);
-        self.stats.full_passes += 1;
+        self.counters.full_passes.incr();
         let n_levels = self.levels.len();
         for level in 0..n_levels {
             let ids = std::mem::take(&mut self.levels[level]);
@@ -416,8 +467,13 @@ impl<'a> IncrementalSta<'a> {
                 let engine: &IncrementalSta<'a> = &*self;
                 let handles: Vec<_> = ids
                     .chunks(chunk)
-                    .map(|ids| {
+                    .enumerate()
+                    .map(|(w, ids)| {
                         scope.spawn(move || {
+                            if ssdm_obs::enabled() {
+                                ssdm_obs::set_thread_label(format!("sta.worker.{w}"));
+                            }
+                            let _span = ssdm_obs::span("sta.level");
                             ids.iter()
                                 .map(|&i| engine.eval_gate_uncached(i).map(|(lt, du)| (i, lt, du)))
                                 .collect()
@@ -432,7 +488,7 @@ impl<'a> IncrementalSta<'a> {
             self.levels[level] = ids;
             for r in results {
                 for (i, lt, du) in r? {
-                    self.stats.gates_evaluated += 1;
+                    self.counters.gates_evaluated.incr();
                     self.lines[i] = lt;
                     self.used[i] = du;
                 }
@@ -470,7 +526,8 @@ impl<'a> IncrementalSta<'a> {
             }
             return Ok(self.circuit.n_nets());
         }
-        self.stats.incremental_passes += 1;
+        let _span = ssdm_obs::span("sta.refine");
+        self.counters.incremental_passes.incr();
         // Min-heap of dirty net indices: fan-outs always have larger
         // topological indices, so popping in index order both respects
         // dependencies and guarantees each net is evaluated at most once.
@@ -483,16 +540,18 @@ impl<'a> IncrementalSta<'a> {
                     heap.push(std::cmp::Reverse(i));
                 }
             };
+        let mut seeds = 0u64;
         for (i, &p) in part.iter().enumerate() {
             if p != self.part[i] {
                 self.part[i] = p;
-                self.stats.dirty_seeds += 1;
+                seeds += 1;
                 push(&mut heap, &mut queued, i);
                 for &c in self.circuit.fanouts(NetId(i)) {
                     push(&mut heap, &mut queued, c.index());
                 }
             }
         }
+        self.counters.dirty_seeds.add(seeds);
         let mut evaluated = 0usize;
         while let Some(std::cmp::Reverse(i)) = heap.pop() {
             let (lt, du) = self.eval_gate(i)?;
@@ -504,6 +563,10 @@ impl<'a> IncrementalSta<'a> {
                     push(&mut heap, &mut queued, c.index());
                 }
             }
+        }
+        if ssdm_obs::enabled() {
+            ssdm_obs::histogram("sta.refine.cone_gates").record(evaluated as u64);
+            ssdm_obs::histogram("sta.refine.dirty_seeds").record(seeds);
         }
         Ok(evaluated)
     }
@@ -523,9 +586,10 @@ impl<'a> IncrementalSta<'a> {
         &self.inverting
     }
 
-    /// Work counters accumulated since construction.
+    /// Work counters accumulated since construction (a point-in-time
+    /// snapshot of this engine's `sta.incremental.*` counters).
     pub fn stats(&self) -> IncrementalStats {
-        self.stats
+        self.counters.snapshot()
     }
 
     /// Clones the current state into a [`StaResult`].

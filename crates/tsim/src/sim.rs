@@ -83,6 +83,9 @@ pub struct TimingSim<'a, M> {
     /// workloads (fault dropping) call `run` once per generated test, and
     /// the loads depend only on the circuit, library and configuration.
     loads: std::sync::OnceLock<Vec<ssdm_core::Capacitance>>,
+    /// Replays performed by this simulator (`tsim.runs` in the `ssdm-obs`
+    /// registry).
+    runs: ssdm_obs::Counter,
 }
 
 impl<'a, M: DelayModel> TimingSim<'a, M> {
@@ -94,6 +97,7 @@ impl<'a, M: DelayModel> TimingSim<'a, M> {
             model,
             config: StaConfig::default(),
             loads: std::sync::OnceLock::new(),
+            runs: ssdm_obs::counter("tsim.runs"),
         }
     }
 
@@ -113,6 +117,8 @@ impl<'a, M: DelayModel> TimingSim<'a, M> {
     /// * [`TsimError::Sta`] / [`TsimError::Model`] — mapping or model
     ///   failures.
     pub fn run(&self, input: &SimInput) -> Result<SimTrace, TsimError> {
+        let _span = ssdm_obs::span("tsim.run");
+        self.runs.incr();
         let n_pi = self.circuit.inputs().len();
         if input.v1.len() != n_pi || input.v2.len() != n_pi {
             return Err(TsimError::BadVector {

@@ -273,3 +273,61 @@ fn baselines_disagree_with_proposed_exactly_where_the_paper_says() {
     let b = pin2pin.response(cell, &single, load).unwrap();
     assert_eq!(p.arrival, b.arrival);
 }
+
+/// A real instrumented campaign produces a well-formed Chrome trace
+/// (balanced B/E events, monotone timestamps per thread) and populates
+/// the campaign counters. The golden-file tests in `ssdm-obs` pin the
+/// renderers on synthetic input; this covers live multi-threaded capture.
+#[test]
+fn instrumented_campaign_yields_valid_trace_and_metrics() {
+    let lib = library();
+    let circuit = suite::c17();
+    let sites = coupling_sites(&circuit, 8, 99);
+    let config = ssdm::atpg::AtpgConfig::for_circuit(&circuit, lib).unwrap();
+    ssdm::obs::set_enabled(true);
+    let result = ssdm::atpg::AtpgDriver::new(&circuit, lib, config)
+        .with_jobs(2)
+        .run(&sites);
+    ssdm::obs::set_enabled(false);
+    let result = result.unwrap();
+    assert_eq!(result.outcomes.len(), sites.len());
+
+    let report = ssdm::obs::capture();
+    let detected = report.counters.get("atpg.campaign.detected").copied();
+    assert!(
+        detected >= Some(result.stats.detected as u64),
+        "campaign counter missing or behind: {detected:?}"
+    );
+    assert!(report.counters.contains_key("sta.incremental.full_passes"));
+    assert!(!report.threads.is_empty());
+
+    // Minimal single-line-event parse: no JSON dependency needed.
+    let field = |line: &str, key: &str| -> Option<String> {
+        let pat = format!("\"{key}\": ");
+        let rest = &line[line.find(&pat)? + pat.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    };
+    let trace = report.to_chrome_trace();
+    let mut depth: std::collections::BTreeMap<String, i64> = Default::default();
+    let mut last_ts: std::collections::BTreeMap<String, f64> = Default::default();
+    for line in trace.lines() {
+        let Some(ph) = field(line, "ph") else {
+            continue;
+        };
+        if ph == "M" {
+            continue;
+        }
+        let tid = field(line, "tid").unwrap();
+        let ts: f64 = field(line, "ts").unwrap().parse().unwrap();
+        let prev = last_ts.insert(tid.clone(), ts).unwrap_or(f64::NEG_INFINITY);
+        assert!(ts >= prev, "timestamps regressed on tid {tid}");
+        let d = depth.entry(tid.clone()).or_insert(0);
+        *d += if ph == "B" { 1 } else { -1 };
+        assert!(*d >= 0, "E before B on tid {tid}");
+    }
+    assert!(!depth.is_empty(), "trace recorded no duration events");
+    for (tid, d) in &depth {
+        assert_eq!(*d, 0, "unbalanced events on tid {tid}");
+    }
+}

@@ -271,6 +271,43 @@ proptest! {
         prop_assert_eq!(serial.stats, parallel.stats);
     }
 
+    /// Enabling `ssdm-obs` instrumentation never changes what a campaign
+    /// decides: per-site outcomes and statistics are bit-identical with
+    /// spans, histograms and counters recording, at 1, 2 and 8 workers.
+    #[test]
+    fn instrumentation_never_changes_campaign_outcomes(seed in 0u64..100) {
+        use ssdm::atpg::{AtpgConfig, AtpgDriver};
+        use ssdm::netlist::coupling_sites;
+        let cfg = GeneratorConfig::iscas_like("obs", 6, 3, 20, seed);
+        let circuit = generate(&cfg);
+        let lib = library();
+        let config = AtpgConfig {
+            backtrack_limit: 8,
+            ..AtpgConfig::for_circuit(&circuit, lib).unwrap()
+        };
+        let sites = coupling_sites(&circuit, 5, seed ^ 0x0b5);
+        for jobs in [1usize, 2, 8] {
+            let plain = AtpgDriver::new(&circuit, lib, config.clone())
+                .with_jobs(jobs)
+                .run(&sites)
+                .unwrap();
+            ssdm::obs::set_enabled(true);
+            let instrumented = AtpgDriver::new(&circuit, lib, config.clone())
+                .with_jobs(jobs)
+                .run(&sites);
+            ssdm::obs::set_enabled(false);
+            let instrumented = instrumented.unwrap();
+            prop_assert_eq!(
+                &plain.outcomes, &instrumented.outcomes,
+                "outcomes diverged under instrumentation at jobs {}", jobs
+            );
+            prop_assert_eq!(
+                plain.stats, instrumented.stats,
+                "stats diverged under instrumentation at jobs {}", jobs
+            );
+        }
+    }
+
     /// Assigning PI values one at a time only ever shrinks ITR windows.
     #[test]
     fn itr_shrinks_monotonically(bits1 in 0u8..32, bits2 in 0u8..32, order in 0usize..120) {
