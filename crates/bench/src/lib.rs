@@ -50,6 +50,7 @@ pub fn fast_library() -> Result<CellLibrary, CellError> {
 pub fn instrumented_report<T>(bench: &str, f: impl FnOnce() -> T) -> T {
     ssdm_obs::reset();
     ssdm_obs::set_thread_label("main");
+    ssdm_obs::set_meta("bench", bench);
     ssdm_obs::set_enabled(true);
     let out = f();
     ssdm_obs::set_enabled(false);

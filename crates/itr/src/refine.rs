@@ -135,6 +135,13 @@ impl<'a> Itr<'a> {
     /// served from a memo cache. The result is guaranteed bit-identical to
     /// [`Itr::refine_full`].
     ///
+    /// When provenance events are on ([`ssdm_obs::set_events_enabled`]),
+    /// every incremental pass records one `itr.shrink` event per window
+    /// that tightened or was vetoed, attributed to the participation seed
+    /// or to upstream ripple — the raw material for `ssdm-cli explain`
+    /// and post-mortem refinement analysis. The first call (a full pass)
+    /// records `sta.corner` decisions only.
+    ///
     /// # Errors
     ///
     /// * [`ItrError::Logic`] — the assignment is self-inconsistent;
@@ -505,6 +512,40 @@ mod tests {
         let after = itr.stats();
         assert_eq!(after.full_passes, before.full_passes + 1);
         assert!(after.gates_evaluated > before.gates_evaluated);
+    }
+
+    #[test]
+    fn traced_refinement_records_shrink_provenance() {
+        let c = suite::c17();
+        let itr = Itr::new(&c, library(), StaConfig::default());
+        let mut a = Assignments::new(c.n_nets());
+        // Prime with the all-unknown full pass, then trace a refinement
+        // that pins one PI steady (vetoing both its edges).
+        itr.refine(&mut a).unwrap();
+        ssdm_obs::set_events_enabled(true);
+        let pi = c.inputs()[0];
+        a.set(pi, V2::steady(true)).unwrap();
+        itr.refine(&mut a).unwrap();
+        ssdm_obs::set_events_enabled(false);
+        let report = ssdm_obs::capture();
+        let shrinks: Vec<ssdm_obs::Event> = report
+            .threads
+            .iter()
+            .flat_map(|t| t.events.iter())
+            .filter(|r| matches!(r.event, ssdm_obs::Event::ItrShrink { .. }))
+            .map(|r| r.event)
+            .collect();
+        assert!(
+            shrinks.iter().any(|e| matches!(
+                e,
+                ssdm_obs::Event::ItrShrink {
+                    net,
+                    cause: ssdm_obs::ShrinkCause::Veto,
+                    ..
+                } if *net == pi.index() as u32
+            )),
+            "steady PI must record a veto shrink; got {shrinks:?}"
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! Minimal JSON emission helpers (the workspace builds offline, so no
-//! serde); only what the reporters need: escaped strings, integers and
-//! fixed-precision floats.
+//! Minimal JSON emission and parsing helpers (the workspace builds
+//! offline, so no serde); emission covers what the reporters need —
+//! escaped strings, integers and fixed-precision floats — and the parser
+//! covers full JSON so `obs-diff` can read back any run report.
 
 use std::fmt::Write;
 
@@ -34,6 +35,230 @@ pub(crate) fn push_micros(out: &mut String, ns: u64) {
     let _ = write!(out, "{:.3}", ns as f64 / 1_000.0);
 }
 
+/// A parsed JSON value. Objects keep insertion order (a `Vec`, not a
+/// map) so reports render back deterministically if ever needed.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (all run-report numbers fit f64 exactly enough
+    /// for diffing).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in source order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member by key (`None` for non-objects/missing keys).
+    pub(crate) fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The members of an object (empty for non-objects).
+    pub(crate) fn entries(&self) -> &[(String, JsonValue)] {
+        match self {
+            JsonValue::Object(members) => members,
+            _ => &[],
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a complete JSON document (recursive descent; trailing content
+/// other than whitespace is an error).
+pub(crate) fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", b as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(JsonValue::String(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", JsonValue::Null),
+        Some(b) if b.is_ascii_digit() || *b == b'-' => parse_number(bytes, pos),
+        Some(b) => Err(format!("unexpected {:?} at byte {}", *b as char, *pos)),
+        None => Err("unexpected end of input".to_string()),
+    }
+}
+
+fn parse_lit(
+    bytes: &[u8],
+    pos: &mut usize,
+    lit: &str,
+    value: JsonValue,
+) -> Result<JsonValue, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while let Some(&b) = bytes.get(*pos) {
+        if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Number)
+        .ok_or_else(|| format!("invalid number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = Vec::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return String::from_utf8(out).map_err(|_| "invalid utf-8".to_string());
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' | b'\\' | b'/' => out.push(*esc),
+                    b'n' => out.push(b'\n'),
+                    b'r' => out.push(b'\r'),
+                    b't' => out.push(b'\t'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or("invalid \\u escape")?;
+                        *pos += 4;
+                        // Surrogate pairs are not produced by our emitter;
+                        // map lone surrogates to U+FFFD.
+                        let ch = char::from_u32(hex).unwrap_or('\u{fffd}');
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("invalid escape {:?}", *other as char)),
+                }
+            }
+            Some(&b) => {
+                out.push(b);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(bytes, pos, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Object(members));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        members.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Object(members));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -50,5 +275,42 @@ mod tests {
         let mut out = String::new();
         push_micros(&mut out, 1_234_567);
         assert_eq!(out, "1234.567");
+    }
+
+    #[test]
+    fn parser_round_trips_emitted_strings() {
+        let mut out = String::new();
+        push_str_lit(&mut out, "a\"b\\c\nd\u{0001}é");
+        let parsed = parse(&out).unwrap();
+        assert_eq!(parsed.as_str(), Some("a\"b\\c\nd\u{0001}é"));
+    }
+
+    #[test]
+    fn parser_handles_nested_documents() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": true}, "e": "x", "f": []}"#)
+            .unwrap();
+        assert_eq!(
+            v.get("a").unwrap(),
+            &JsonValue::Array(vec![
+                JsonValue::Number(1.0),
+                JsonValue::Number(2.5),
+                JsonValue::Number(-300.0),
+            ])
+        );
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&JsonValue::Null));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&JsonValue::Bool(true)));
+        assert_eq!(v.get("e").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("f").unwrap(), &JsonValue::Array(Vec::new()));
+        assert_eq!(v.entries().len(), 4);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("{} trailing").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("nul").is_err());
     }
 }

@@ -30,12 +30,25 @@
 //! bespoke `Add` impls. [`histogram`] returns a handle to the single
 //! shared log₂-bucketed histogram of that name.
 //!
+//! # Provenance events
+//!
+//! [`event`] records a typed [`Event`] into the current thread's bounded
+//! ring — which corner won a gate's worst-case search, why an ITR window
+//! shrank, where PODEM backtracked. Events have their **own** enable
+//! flag ([`set_events_enabled`]): while off, [`event`] is a single
+//! relaxed atomic load and the event-building closure is never invoked,
+//! so metrics-only runs pay nothing for the tracing layer.
+//!
 //! # Reporters
 //!
 //! [`capture`] snapshots everything into a [`Report`], which renders as
 //! a human text tree ([`Report::to_text`]), a machine-readable JSON run
-//! report ([`Report::to_json`]) and a Chrome trace-event file loadable in
-//! Perfetto or `chrome://tracing` ([`Report::to_chrome_trace`]).
+//! report ([`Report::to_json`], schema `ssdm-obs/2`) and a Chrome
+//! trace-event file loadable in Perfetto or `chrome://tracing`
+//! ([`Report::to_chrome_trace`]). The [`diff`] module parses run reports
+//! back (both `ssdm-obs/1` and `/2`) and compares two of them against
+//! relative regression thresholds — the engine behind `ssdm-cli
+//! obs-diff` and the CI perf gate.
 //!
 //! # Example
 //!
@@ -56,11 +69,16 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod diff;
+pub mod event;
 mod json;
 pub mod registry;
 pub mod report;
 pub mod span;
 
+pub use event::{
+    DelayTerm, Event, EventBound, EventEdge, EventRecord, ShrinkCause, EVENT_RING_CAP,
+};
 pub use registry::{Counter, Histogram, HistogramSnapshot, Registry};
 pub use report::{Report, SpanNode, ThreadReport};
 pub use span::{set_thread_label, span, Span, SpanRecord};
@@ -82,6 +100,36 @@ pub fn enabled() -> bool {
 /// without being recorded, never torn.
 pub fn set_enabled(on: bool) {
     registry().set_enabled(on);
+}
+
+/// Whether provenance-event recording is on (independent of
+/// [`enabled`], so metric runs stay lean while traced runs opt in).
+pub fn events_enabled() -> bool {
+    registry().events_enabled()
+}
+
+/// Turns provenance-event recording on or off.
+pub fn set_events_enabled(on: bool) {
+    registry().set_events_enabled(on);
+}
+
+/// Records the event built by `build` into the current thread's bounded
+/// ring. While events are disabled this is a single relaxed atomic load
+/// — `build` is **not** invoked, so emit sites can capture and format
+/// state for free on the disabled path.
+#[inline]
+pub fn event(build: impl FnOnce() -> Event) {
+    if !registry().events_enabled() {
+        return;
+    }
+    span::record_event(build());
+}
+
+/// Attaches a metadata entry (`key` → `value`) merged into every
+/// captured report's `meta` section — e.g. a bench name labelling the
+/// run for `obs-diff`. Cleared by [`reset`].
+pub fn set_meta(key: impl Into<String>, value: impl Into<String>) {
+    registry().set_meta(key, value);
 }
 
 /// Creates a new counter instance registered under `name`.
@@ -108,8 +156,9 @@ pub fn capture() -> Report {
 }
 
 /// Clears all recorded data: counters (live cells and banked totals),
-/// histograms and span logs. Thread registrations and the enable flag are
-/// kept. Intended for tests and between independent runs.
+/// histograms, span logs, event rings and caller-set metadata. Thread
+/// registrations and the enable flags are kept. Intended for tests and
+/// between independent runs.
 pub fn reset() {
     registry().reset();
 }
@@ -139,6 +188,77 @@ mod tests {
             .threads
             .iter()
             .all(|t| !t.spans.iter().any(|s| s.name == "test.disabled")));
+    }
+
+    #[test]
+    fn disabled_events_record_nothing() {
+        let _guard = serial();
+        reset();
+        set_events_enabled(false);
+        let built = std::cell::Cell::new(false);
+        event(|| {
+            built.set(true);
+            Event::AtpgBacktrack { depth: 1 }
+        });
+        assert!(
+            !built.get(),
+            "disabled event() must not invoke the builder closure"
+        );
+        let report = capture();
+        assert!(report
+            .threads
+            .iter()
+            .all(|t| t.events.is_empty() && t.events_dropped == 0));
+    }
+
+    #[test]
+    fn events_record_in_order_and_reset_clears_them() {
+        let _guard = serial();
+        reset();
+        set_events_enabled(true);
+        event(|| Event::AtpgBacktrack { depth: 4 });
+        event(|| Event::AtpgAbort { backtracks: 30 });
+        set_events_enabled(false);
+        let report = capture();
+        let thread = report
+            .threads
+            .iter()
+            .find(|t| !t.events.is_empty())
+            .expect("event thread");
+        let ours: Vec<&EventRecord> = thread
+            .events
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.event,
+                    Event::AtpgBacktrack { depth: 4 } | Event::AtpgAbort { backtracks: 30 }
+                )
+            })
+            .collect();
+        assert_eq!(ours.len(), 2);
+        assert!(ours[0].seq < ours[1].seq, "per-thread order preserved");
+        assert!(matches!(ours[0].event, Event::AtpgBacktrack { .. }));
+        reset();
+        let report = capture();
+        assert!(report.threads.iter().all(|t| t.events.is_empty()));
+    }
+
+    #[test]
+    fn meta_entries_reach_the_report_and_reset_clears_them() {
+        let _guard = serial();
+        reset();
+        set_meta("bench", "unit-test");
+        let report = capture();
+        assert_eq!(
+            report.meta.get("bench").map(String::as_str),
+            Some("unit-test")
+        );
+        // Auto-stamped entries are always present.
+        assert!(report.meta.contains_key("started_unix_ms"));
+        assert!(report.meta.contains_key("workers"));
+        assert!(report.meta.contains_key("cmdline"));
+        reset();
+        assert!(!capture().meta.contains_key("bench"));
     }
 
     #[test]

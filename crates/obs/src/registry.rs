@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, Weak};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 use crate::span::ThreadLog;
 
@@ -41,10 +41,13 @@ impl CounterSlot {
 /// [`crate::registry`]; all members of the workspace share one instance.
 pub struct Registry {
     enabled: AtomicBool,
+    events_enabled: AtomicBool,
     epoch: Instant,
+    started_unix_ms: u128,
     counters: Mutex<BTreeMap<String, CounterSlot>>,
     histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
     threads: Mutex<Vec<Arc<ThreadLog>>>,
+    meta: Mutex<BTreeMap<String, String>>,
     next_tid: AtomicU64,
 }
 
@@ -63,10 +66,15 @@ impl Registry {
     fn new() -> Registry {
         Registry {
             enabled: AtomicBool::new(false),
+            events_enabled: AtomicBool::new(false),
             epoch: Instant::now(),
+            started_unix_ms: SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map_or(0, |d| d.as_millis()),
             counters: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             threads: Mutex::new(Vec::new()),
+            meta: Mutex::new(BTreeMap::new()),
             next_tid: AtomicU64::new(0),
         }
     }
@@ -86,6 +94,37 @@ impl Registry {
     /// Turns span/histogram recording on or off.
     pub fn set_enabled(&self, on: bool) {
         self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether provenance-event recording is on. Independent of
+    /// [`Registry::enabled`] so event-heavy tracing never taxes a plain
+    /// metrics run.
+    #[inline]
+    pub fn events_enabled(&self) -> bool {
+        self.events_enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns provenance-event recording on or off.
+    pub fn set_events_enabled(&self, on: bool) {
+        self.events_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Wall-clock process start, milliseconds since the Unix epoch (the
+    /// instant the registry singleton was created).
+    pub fn started_unix_ms(&self) -> u128 {
+        self.started_unix_ms
+    }
+
+    /// Attaches a caller-supplied metadata entry merged into every
+    /// captured report's `meta` section (e.g. a bench name). Cleared by
+    /// [`Registry::reset`].
+    pub fn set_meta(&self, key: impl Into<String>, value: impl Into<String>) {
+        lock(&self.meta).insert(key.into(), value.into());
+    }
+
+    /// The caller-supplied metadata entries.
+    pub fn meta_entries(&self) -> BTreeMap<String, String> {
+        lock(&self.meta).clone()
     }
 
     /// Nanoseconds since the registry was created — the timebase of every
@@ -176,6 +215,7 @@ impl Registry {
         for log in lock(&self.threads).iter() {
             log.clear();
         }
+        lock(&self.meta).clear();
     }
 }
 
@@ -287,18 +327,24 @@ impl HistogramCore {
             }
             bucket_midpoint(N_BUCKETS - 1)
         };
+        let min = if count == 0 {
+            0
+        } else {
+            self.min.load(Ordering::Relaxed)
+        };
+        let max = self.max.load(Ordering::Relaxed);
+        // Bucket midpoints can overshoot the actually observed extremes
+        // (every sample equal to 558 lands in [512, 1024), midpoint 767);
+        // min/max are tracked exactly, so clamp the estimates to them.
+        let q = |p: f64| quantile(p).clamp(min, max);
         HistogramSnapshot {
             count,
             sum: self.sum.load(Ordering::Relaxed),
-            min: if count == 0 {
-                0
-            } else {
-                self.min.load(Ordering::Relaxed)
-            },
-            max: self.max.load(Ordering::Relaxed),
-            p50: quantile(0.50),
-            p90: quantile(0.90),
-            p99: quantile(0.99),
+            min,
+            max,
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
         }
     }
 }
@@ -356,7 +402,8 @@ impl Histogram {
 }
 
 /// Point-in-time aggregate view of a histogram. Quantiles are log₂-bucket
-/// midpoints, i.e. estimates with at most ~0.5× relative error.
+/// midpoints clamped to the observed `[min, max]`, i.e. estimates with at
+/// most ~0.5× relative error that never leave the observed range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct HistogramSnapshot {
     /// Samples recorded.
@@ -419,5 +466,28 @@ mod tests {
         assert!(s.min <= s.p50 && s.p50 <= s.p90 && s.p90 <= s.p99);
         assert!(s.p99 <= s.max * 2, "log2 estimate stays in range");
         assert!((s.mean() - 500.5).abs() < 1.0);
+    }
+
+    #[test]
+    fn quantiles_never_leave_the_observed_range() {
+        let _guard = crate::tests::serial();
+        crate::reset();
+        crate::set_enabled(true);
+        // The OBS_sec7_atpg.json regression: samples of 558 fall in the
+        // [512, 1024) bucket whose midpoint 767 exceeded the true max.
+        let h = crate::histogram("test.registry.clamp.hi");
+        for _ in 0..100 {
+            h.record(558);
+        }
+        // Min side: a single 15 sits in [8, 16) with midpoint 11 < min.
+        let lo = crate::histogram("test.registry.clamp.lo");
+        lo.record(15);
+        crate::set_enabled(false);
+        let s = h.snapshot();
+        assert_eq!((s.min, s.max), (558, 558));
+        assert_eq!((s.p50, s.p90, s.p99), (558, 558, 558));
+        let s = lo.snapshot();
+        assert_eq!((s.min, s.max), (15, 15));
+        assert_eq!(s.p50, 15);
     }
 }

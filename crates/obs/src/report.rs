@@ -3,13 +3,15 @@
 
 use std::collections::BTreeMap;
 use std::fmt::Write;
+use std::sync::OnceLock;
 
+use crate::event::{Event, EventRecord};
 use crate::json::{push_key, push_micros, push_str_lit};
 use crate::registry::{HistogramSnapshot, Registry};
 use crate::span::SpanRecord;
 
 /// One thread's captured timeline.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct ThreadReport {
     /// Stable thread id assigned at registration (Chrome trace `tid`).
     pub tid: u64,
@@ -17,6 +19,11 @@ pub struct ThreadReport {
     pub label: String,
     /// Finished spans, in completion order.
     pub spans: Vec<SpanRecord>,
+    /// Provenance events, oldest first (bounded; see
+    /// [`crate::EVENT_RING_CAP`]).
+    pub events: Vec<EventRecord>,
+    /// Events dropped from this thread's ring because it overflowed.
+    pub events_dropped: u64,
 }
 
 /// A point-in-time snapshot of everything the registry has recorded.
@@ -25,12 +32,35 @@ pub struct ThreadReport {
 /// deterministic reports (see the golden-file test of the JSON schema).
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Report {
+    /// Run metadata labelling the capture (git describe, wall-clock
+    /// start, worker count, command line, caller-set entries).
+    pub meta: BTreeMap<String, String>,
     /// Cross-instance counter totals, by dotted name.
     pub counters: BTreeMap<String, u64>,
     /// Histogram snapshots, by dotted name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
     /// Per-thread span timelines, ordered by thread id.
     pub threads: Vec<ThreadReport>,
+}
+
+/// `git describe --always --dirty` of the working directory, cached for
+/// the process (one subprocess spawn ever). `None` outside a git
+/// checkout or without git on PATH.
+fn git_describe() -> Option<&'static str> {
+    static GIT: OnceLock<Option<String>> = OnceLock::new();
+    GIT.get_or_init(|| {
+        let out = std::process::Command::new("git")
+            .args(["describe", "--always", "--dirty"])
+            .output()
+            .ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        let text = String::from_utf8(out.stdout).ok()?;
+        let text = text.trim();
+        (!text.is_empty()).then(|| text.to_string())
+    })
+    .as_deref()
 }
 
 /// One thread's lane summary: `(tid, label, {span name → (count,
@@ -59,19 +89,45 @@ impl SpanNode {
 }
 
 impl Report {
-    /// Snapshots the registry.
+    /// Snapshots the registry, stamping run metadata (`meta`): caller
+    /// entries from [`crate::set_meta`] plus `git` (when available),
+    /// `started_unix_ms`, `workers` and `cmdline`.
     pub fn capture(registry: &Registry) -> Report {
         let mut threads: Vec<ThreadReport> = registry
             .thread_logs()
             .iter()
-            .map(|log| ThreadReport {
-                tid: log.tid,
-                label: log.label(),
-                spans: log.records(),
+            .map(|log| {
+                let (events, events_dropped) = log.events();
+                ThreadReport {
+                    tid: log.tid,
+                    label: log.label(),
+                    spans: log.records(),
+                    events,
+                    events_dropped,
+                }
             })
             .collect();
         threads.sort_by_key(|t| t.tid);
+        let mut meta = registry.meta_entries();
+        if let Some(git) = git_describe() {
+            meta.insert("git".to_string(), git.to_string());
+        }
+        meta.insert(
+            "started_unix_ms".to_string(),
+            registry.started_unix_ms().to_string(),
+        );
+        meta.insert(
+            "workers".to_string(),
+            std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .to_string(),
+        );
+        meta.insert(
+            "cmdline".to_string(),
+            std::env::args().collect::<Vec<_>>().join(" "),
+        );
         Report {
+            meta,
             counters: registry.counter_totals(),
             histograms: registry.histogram_snapshots(),
             threads,
@@ -158,14 +214,32 @@ impl Report {
         out
     }
 
-    /// Renders the machine-readable JSON run report (`ssdm-obs/1`
-    /// schema): counters, histograms, the aggregated span tree and
-    /// per-thread summaries.
+    /// Renders the machine-readable JSON run report (`ssdm-obs/2`
+    /// schema): run metadata, counters, histograms, the aggregated span
+    /// tree, per-thread summaries and provenance events.
+    ///
+    /// `ssdm-obs/2` is a strict additive extension of `ssdm-obs/1`: the
+    /// `meta` and `events` sections are new, everything else renders
+    /// exactly as before, and v1 reports still parse (see
+    /// [`crate::diff::parse_report`]).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n  ");
         push_key(&mut out, "schema");
-        out.push_str("\"ssdm-obs/1\",\n  ");
+        out.push_str("\"ssdm-obs/2\",\n  ");
+
+        push_key(&mut out, "meta");
+        out.push('{');
+        for (i, (key, value)) in self.meta.iter().enumerate() {
+            out.push_str(if i == 0 { "\n    " } else { ",\n    " });
+            push_key(&mut out, key);
+            push_str_lit(&mut out, value);
+        }
+        out.push_str(if self.meta.is_empty() {
+            "},\n  "
+        } else {
+            "\n  },\n  "
+        });
 
         push_key(&mut out, "counters");
         out.push('{');
@@ -235,7 +309,33 @@ impl Report {
             }
             out.push_str("}}");
         }
-        out.push_str(if first_thread { "]\n}\n" } else { "\n  ]\n}\n" });
+        out.push_str(if first_thread { "],\n  " } else { "\n  ],\n  " });
+
+        push_key(&mut out, "events");
+        out.push('[');
+        let mut first_lane = true;
+        for thread in &self.threads {
+            if thread.events.is_empty() && thread.events_dropped == 0 {
+                continue;
+            }
+            out.push_str(if first_lane { "\n    " } else { ",\n    " });
+            first_lane = false;
+            let _ = write!(
+                out,
+                "{{\"tid\": {}, \"dropped\": {}, \"records\": [",
+                thread.tid, thread.events_dropped
+            );
+            for (i, record) in thread.events.iter().enumerate() {
+                out.push_str(if i == 0 { "\n      " } else { ",\n      " });
+                push_event_json(&mut out, record);
+            }
+            out.push_str(if thread.events.is_empty() {
+                "]}"
+            } else {
+                "\n    ]}"
+            });
+        }
+        out.push_str(if first_lane { "]\n}\n" } else { "\n  ]\n}\n" });
         out
     }
 
@@ -311,6 +411,74 @@ impl Report {
     }
 }
 
+/// Renders one event record as a single-line JSON object.
+fn push_event_json(out: &mut String, record: &EventRecord) {
+    let _ = write!(
+        out,
+        "{{\"seq\": {}, \"kind\": \"{}\", ",
+        record.seq,
+        record.event.kind()
+    );
+    match record.event {
+        Event::StaCorner {
+            net,
+            edge,
+            bound,
+            pin,
+            term,
+            delay_ns,
+        } => {
+            let _ = write!(
+                out,
+                "\"net\": {net}, \"edge\": \"{}\", \"bound\": \"{}\", \
+                 \"pin\": {pin}, \"term\": \"{}\", \"delay_ns\": {delay_ns:.6}",
+                edge.as_str(),
+                bound.as_str(),
+                term.as_str()
+            );
+        }
+        Event::ItrShrink {
+            net,
+            edge,
+            cause,
+            amount_ns,
+        } => {
+            let _ = write!(
+                out,
+                "\"net\": {net}, \"edge\": \"{}\", \"cause\": \"{}\", \
+                 \"amount_ns\": {amount_ns:.6}",
+                edge.as_str(),
+                cause.as_str()
+            );
+        }
+        Event::AtpgObjective { net, frame, value } => {
+            let _ = write!(
+                out,
+                "\"net\": {net}, \"frame\": {frame}, \"value\": {value}"
+            );
+        }
+        Event::AtpgDecision {
+            pi,
+            frame,
+            value,
+            flipped,
+        } => {
+            let _ = write!(
+                out,
+                "\"pi\": {pi}, \"frame\": {frame}, \"value\": {value}, \
+                 \"flipped\": {flipped}"
+            );
+        }
+        Event::AtpgBacktrack { depth } => {
+            let _ = write!(out, "\"depth\": {depth}");
+        }
+        Event::AtpgAbort { backtracks } => {
+            let _ = write!(out, "\"backtracks\": {backtracks}");
+        }
+    }
+    out.push('}');
+}
+
 fn render_text_node(out: &mut String, name: &str, node: &SpanNode, indent: usize) {
     let pad = "  ".repeat(indent + 1);
     let ms = node.total_ns as f64 / 1e6;
@@ -377,6 +545,7 @@ mod tests {
                     record("inner", 40, 10, 1),
                     record("outer", 0, 100, 0),
                 ],
+                ..Default::default()
             }],
             ..Default::default()
         };
@@ -402,6 +571,7 @@ mod tests {
                     record("sibling", 35, 5, 1),
                     record("parent", 0, 50, 0),
                 ],
+                ..Default::default()
             }],
             ..Default::default()
         };
@@ -421,9 +591,32 @@ mod tests {
         let report = Report::default();
         let json = report.to_json();
         assert!(json.starts_with("{"));
-        assert!(json.contains("\"schema\": \"ssdm-obs/1\""));
+        assert!(json.contains("\"schema\": \"ssdm-obs/2\""));
+        assert!(json.contains("\"meta\": {}"));
+        assert!(json.contains("\"events\": []"));
         assert!(json.trim_end().ends_with("}"));
         let trace = report.to_chrome_trace();
         assert!(trace.contains("\"traceEvents\""));
+    }
+
+    #[test]
+    fn events_render_with_thread_and_drop_attribution() {
+        use crate::event::{Event, EventRecord};
+        let report = Report {
+            threads: vec![ThreadReport {
+                tid: 2,
+                label: "worker".into(),
+                events: vec![EventRecord {
+                    seq: 7,
+                    event: Event::AtpgAbort { backtracks: 30 },
+                }],
+                events_dropped: 5,
+                ..Default::default()
+            }],
+            ..Default::default()
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"tid\": 2, \"dropped\": 5, \"records\": ["));
+        assert!(json.contains("{\"seq\": 7, \"kind\": \"atpg.abort\", \"backtracks\": 30}"));
     }
 }

@@ -4,6 +4,7 @@ use std::borrow::Cow;
 use std::cell::{Cell, RefCell};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use crate::event::{Event, EventRecord, EventRing};
 use crate::registry::Registry;
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -37,6 +38,7 @@ pub(crate) struct ThreadLog {
     pub(crate) tid: u64,
     pub(crate) label: Mutex<String>,
     pub(crate) records: Mutex<Vec<SpanRecord>>,
+    pub(crate) events: Mutex<EventRing>,
 }
 
 impl ThreadLog {
@@ -45,6 +47,7 @@ impl ThreadLog {
             tid,
             label: Mutex::new(String::new()),
             records: Mutex::new(Vec::new()),
+            events: Mutex::new(EventRing::default()),
         }
     }
 
@@ -56,8 +59,14 @@ impl ThreadLog {
         lock(&self.records).clone()
     }
 
+    pub(crate) fn events(&self) -> (Vec<EventRecord>, u64) {
+        let ring = lock(&self.events);
+        (ring.records(), ring.dropped())
+    }
+
     pub(crate) fn clear(&self) {
         lock(&self.records).clear();
+        lock(&self.events).clear();
     }
 
     fn push(&self, record: SpanRecord) {
@@ -94,6 +103,12 @@ fn with_local<R>(f: impl FnOnce(&LocalState) -> R) -> Option<R> {
 pub fn set_thread_label(label: impl Into<String>) {
     let label = label.into();
     with_local(|state| *lock(&state.log.label) = label);
+}
+
+/// Appends `event` to the current thread's ring (registering the thread
+/// on first use). Callers gate on [`crate::events_enabled`].
+pub(crate) fn record_event(event: Event) {
+    with_local(|state| lock(&state.log.events).push(event));
 }
 
 struct OpenSpan {

@@ -1,0 +1,109 @@
+//! Property coverage for the report diff: a report rendered to JSON,
+//! parsed back and diffed against itself must always come out clean —
+//! whatever mix of counters, histograms and spans it carries.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use ssdm_obs::diff::{diff_reports, parse_report, DiffOptions};
+use ssdm_obs::{HistogramSnapshot, Report, SpanRecord, ThreadReport};
+
+/// Deterministically expands generated primitives into a full report.
+/// The vendored proptest has no `prop_map`, so structure is built in the
+/// test body from flat vectors.
+fn build_report(
+    counters: &[u64],
+    hist_samples: &[u64],
+    span_durs: &[u64],
+    label_seed: u64,
+) -> Report {
+    let mut report = Report::default();
+    report
+        .meta
+        .insert("bench".to_string(), format!("prop-{label_seed}"));
+    for (i, &v) in counters.iter().enumerate() {
+        report.counters.insert(format!("prop.counter.{i}"), v);
+    }
+    if !hist_samples.is_empty() {
+        let min = *hist_samples.iter().min().unwrap();
+        let max = *hist_samples.iter().max().unwrap();
+        let sum: u64 = hist_samples.iter().sum();
+        report.histograms.insert(
+            "prop.hist".to_string(),
+            HistogramSnapshot {
+                count: hist_samples.len() as u64,
+                sum,
+                min,
+                max,
+                p50: min + (max - min) / 2,
+                p90: max,
+                p99: max,
+            },
+        );
+    }
+    let mut spans = Vec::new();
+    let mut t = 0u64;
+    for (i, &dur) in span_durs.iter().enumerate() {
+        // Alternate top-level and nested spans so the tree has depth.
+        let depth = (i % 2) as u32;
+        spans.push(SpanRecord {
+            name: format!("prop.span.{}", i % 3),
+            start_ns: t,
+            dur_ns: dur,
+            depth,
+        });
+        t += dur + 1;
+    }
+    report.threads.push(ThreadReport {
+        tid: 0,
+        label: "main".to_string(),
+        spans,
+        ..Default::default()
+    });
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn self_diff_is_always_clean(
+        counters in prop::collection::vec(0u64..2_000_000, 0..8),
+        hist_samples in prop::collection::vec(1u64..100_000, 0..12),
+        span_durs in prop::collection::vec(1u64..50_000_000, 0..10),
+        label_seed in 0u64..1_000_000,
+    ) {
+        let report = build_report(&counters, &hist_samples, &span_durs, label_seed);
+        let json = report.to_json();
+        let parsed = parse_report(&json).expect("rendered report parses");
+        prop_assert_eq!(&parsed.schema, "ssdm-obs/2");
+        let diff = diff_reports(&parsed, &parsed, &DiffOptions::default());
+        prop_assert!(diff.is_clean(), "self-diff regressed: {}", diff.to_text());
+        prop_assert_eq!(diff.missing(), 0);
+        prop_assert!(
+            diff.entries.iter().all(|e| e.rel_change == 0.0),
+            "self-diff shows nonzero change: {}",
+            diff.to_text()
+        );
+    }
+
+    /// Strict thresholds make no difference to a self-diff: even a zero
+    /// threshold cannot flag identical values.
+    #[test]
+    fn self_diff_survives_zero_thresholds(
+        counters in prop::collection::vec(0u64..1_000_000, 1..6),
+    ) {
+        let report = build_report(&counters, &[], &[], 0);
+        let parsed = parse_report(&report.to_json()).unwrap();
+        let opts = DiffOptions {
+            default_rel: 0.0,
+            span_rel: 0.0,
+            counter_floor: 0.0,
+            span_floor_us: 0.0,
+            per_metric: BTreeMap::new(),
+            ..DiffOptions::default()
+        };
+        let diff = diff_reports(&parsed, &parsed, &opts);
+        prop_assert!(diff.is_clean(), "{}", diff.to_text());
+    }
+}

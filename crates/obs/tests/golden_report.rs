@@ -8,11 +8,19 @@
 
 use std::collections::BTreeMap;
 
-use ssdm_obs::{HistogramSnapshot, Report, SpanRecord, ThreadReport};
+use ssdm_obs::{
+    DelayTerm, Event, EventBound, EventEdge, EventRecord, HistogramSnapshot, Report, ShrinkCause,
+    SpanRecord, ThreadReport,
+};
 
 /// A hand-built report with fixed timestamps: one main thread with a
 /// nested driver/resolve pair and one labeled worker with two faults.
 fn sample_report() -> Report {
+    let mut meta = BTreeMap::new();
+    meta.insert("git".to_string(), "v0-golden".to_string());
+    meta.insert("started_unix_ms".to_string(), "1700000000000".to_string());
+    meta.insert("workers".to_string(), "4".to_string());
+    meta.insert("cmdline".to_string(), "ssdm-cli atpg c17 8".to_string());
     let mut counters = BTreeMap::new();
     counters.insert("atpg.campaign.detected".to_string(), 12);
     counters.insert("atpg.podem.backtracks".to_string(), 97);
@@ -48,6 +56,40 @@ fn sample_report() -> Report {
                     depth: 0,
                 },
             ],
+            events: vec![
+                EventRecord {
+                    seq: 0,
+                    event: Event::StaCorner {
+                        net: 12,
+                        edge: EventEdge::Fall,
+                        bound: EventBound::Max,
+                        pin: 1,
+                        term: DelayTerm::Dr,
+                        delay_ns: 0.3125,
+                    },
+                },
+                EventRecord {
+                    seq: 1,
+                    event: Event::StaCorner {
+                        net: 12,
+                        edge: EventEdge::Fall,
+                        bound: EventBound::Min,
+                        pin: 0,
+                        term: DelayTerm::D0r,
+                        delay_ns: 0.2031,
+                    },
+                },
+                EventRecord {
+                    seq: 2,
+                    event: Event::ItrShrink {
+                        net: 12,
+                        edge: EventEdge::Rise,
+                        cause: ShrinkCause::Veto,
+                        amount_ns: 0.0,
+                    },
+                },
+            ],
+            events_dropped: 0,
         },
         ThreadReport {
             tid: 1,
@@ -72,9 +114,38 @@ fn sample_report() -> Report {
                     depth: 0,
                 },
             ],
+            events: vec![
+                EventRecord {
+                    seq: 0,
+                    event: Event::AtpgObjective {
+                        net: 9,
+                        frame: 2,
+                        value: true,
+                    },
+                },
+                EventRecord {
+                    seq: 1,
+                    event: Event::AtpgDecision {
+                        pi: 3,
+                        frame: 2,
+                        value: false,
+                        flipped: false,
+                    },
+                },
+                EventRecord {
+                    seq: 2,
+                    event: Event::AtpgBacktrack { depth: 1 },
+                },
+                EventRecord {
+                    seq: 3,
+                    event: Event::AtpgAbort { backtracks: 30 },
+                },
+            ],
+            events_dropped: 2,
         },
     ];
     Report {
+        meta,
         counters,
         histograms,
         threads,
@@ -101,7 +172,7 @@ fn json_report_matches_golden_file() {
 fn json_report_declares_schema_version() {
     assert!(sample_report()
         .to_json()
-        .contains("\"schema\": \"ssdm-obs/1\""));
+        .contains("\"schema\": \"ssdm-obs/2\""));
 }
 
 /// Pulls `"key": value` out of a single-line trace event without a JSON

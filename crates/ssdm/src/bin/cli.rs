@@ -16,6 +16,23 @@
 //! ssdm-cli characterize [--full-lib] [--jobs N]
 //!     Build (or refresh) the cached cell library on N worker threads and
 //!     print its summary.
+//!
+//! ssdm-cli explain <netlist.bench> [--pin-to-pin] [--full-lib]
+//!     Run STA with provenance events enabled and reconstruct the
+//!     critical path from the recorded corner decisions: one line per
+//!     stage naming the winning input pin, the V-shape segment
+//!     (DR / D0R / SR / MILLER) and the delay it contributed. The staged
+//!     delays are checked to sum to the reported worst arrival.
+//!
+//! ssdm-cli obs-diff <baseline.json> <current.json> [options]
+//!     Compare two ssdm-obs JSON run reports and exit non-zero when any
+//!     metric regressed beyond its relative threshold. Options:
+//!         --default-threshold R   counters/histograms (default 0.5)
+//!         --span-threshold R      span self-times (default 2.0)
+//!         --threshold NAME=R      per-metric override (repeatable)
+//!         --higher-better NAME    larger is better (repeatable)
+//!         --strict                also fail when a metric is present on
+//!                                 only one side
 //! ```
 //!
 //! Every command additionally accepts the observability flags:
@@ -97,6 +114,37 @@ impl ObsArgs {
         eprint!("{}", report.to_text());
         Ok(())
     }
+}
+
+/// Parses an option taking an `f64` value (e.g. `--default-threshold 0.5`).
+fn parse_f64_opt(args: &[String], flag: &str) -> Result<Option<f64>, Box<dyn std::error::Error>> {
+    match args.iter().position(|a| a == flag) {
+        Some(idx) => args
+            .get(idx + 1)
+            .and_then(|s| s.parse().ok())
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a number").into()),
+        None => Ok(None),
+    }
+}
+
+/// Collects the values of every occurrence of a repeatable option.
+fn parse_multi_opt(args: &[String], flag: &str) -> Result<Vec<String>, Box<dyn std::error::Error>> {
+    let mut values = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            values.push(
+                args.get(i + 1)
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))?,
+            );
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(values)
 }
 
 /// Parses `--jobs N`, defaulting to the available cores.
@@ -236,12 +284,226 @@ fn cmd_characterize(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+fn cmd_explain(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use ssdm::obs::{Event, EventBound, EventEdge};
+    use ssdm::sta::propagate::event_edge;
+    use ssdm::sta::slowest_endpoint;
+    use std::collections::HashMap;
+
+    let path = args
+        .first()
+        .ok_or("usage: ssdm-cli explain <netlist.bench>")?;
+    let pin_to_pin = args.iter().any(|a| a == "--pin-to-pin");
+    let full = args.iter().any(|a| a == "--full-lib");
+    let circuit = load_circuit(path)?;
+    let lib = load_library(full, parse_jobs(args)?)?;
+    let model = if pin_to_pin {
+        ModelKind::PinToPin
+    } else {
+        ModelKind::Proposed
+    };
+    ssdm::obs::set_events_enabled(true);
+    let result = Sta::new(&circuit, &lib, StaConfig::default().with_model(model)).run()?;
+    ssdm::obs::set_events_enabled(false);
+    let report = ssdm::obs::capture();
+
+    // Index the recorded corner decisions: the last event per
+    // (net, edge, bound) is the one the final windows came from.
+    type Corner = (u64, usize, ssdm::obs::DelayTerm, f64);
+    let mut corners: HashMap<(u32, EventEdge, EventBound), Corner> = HashMap::new();
+    for thread in &report.threads {
+        for r in &thread.events {
+            if let Event::StaCorner {
+                net,
+                edge,
+                bound,
+                pin,
+                term,
+                delay_ns,
+            } = r.event
+            {
+                let slot = corners.entry((net, edge, bound)).or_insert((
+                    r.seq,
+                    pin as usize,
+                    term,
+                    delay_ns,
+                ));
+                if r.seq >= slot.0 {
+                    *slot = (r.seq, pin as usize, term, delay_ns);
+                }
+            }
+        }
+    }
+
+    let (po, end_edge, end_arrival) = slowest_endpoint(&circuit, &result)
+        .ok_or("no timed endpoint: every output window is vetoed")?;
+
+    // Walk the provenance chain backward: each corner event names the
+    // winning pin, so the chain is fully determined by the events.
+    let mut stages = Vec::new();
+    let mut net = po;
+    let mut edge = end_edge;
+    while !circuit.is_input(net) {
+        let key = (net.index() as u32, event_edge(edge), EventBound::Max);
+        let &(_, pin, term, delay_ns) = corners.get(&key).ok_or_else(|| {
+            format!(
+                "no corner provenance recorded for net {} ({edge})",
+                circuit.gate(net).name
+            )
+        })?;
+        stages.push((net, edge, pin, term, delay_ns));
+        let gate = circuit.gate(net);
+        let fanin = *gate
+            .fanin
+            .get(pin)
+            .ok_or("corner event names a pin the gate does not have")?;
+        edge = edge.through(result.gate_inverting(net));
+        net = fanin;
+    }
+    stages.reverse();
+
+    let launch = result
+        .line(net)
+        .edge(edge)
+        .ok_or("launch input has no window")?
+        .arrival
+        .l();
+    println!(
+        "Critical path — {} (model {:?}), endpoint {} {} @ {:.6} ns",
+        circuit.name(),
+        model,
+        circuit.gate(po).name,
+        end_edge,
+        end_arrival.as_ns()
+    );
+    println!();
+    println!(
+        "{:<14}{:<6}{:<18}{:<8}{:>12}{:>14}",
+        "net", "edge", "from", "term", "delay ns", "arrival ns"
+    );
+    println!(
+        "{:<14}{:<6}{:<18}{:<8}{:>12}{:>14.6}",
+        circuit.gate(net).name,
+        edge_str(edge),
+        "(launch)",
+        "—",
+        "—",
+        launch.as_ns()
+    );
+    let mut sum = launch.as_ns();
+    for &(net, edge, pin, term, delay_ns) in &stages {
+        sum += delay_ns;
+        let gate = circuit.gate(net);
+        let arrival = result
+            .line(net)
+            .edge(edge)
+            .map_or(f64::NAN, |et| et.arrival.l().as_ns());
+        println!(
+            "{:<14}{:<6}{:<18}{:<8}{:>12.6}{:>14.6}",
+            gate.name,
+            edge_str(edge),
+            format!("{} (pin {pin})", circuit.gate(gate.fanin[pin]).name),
+            term.as_str(),
+            delay_ns,
+            arrival
+        );
+    }
+    println!();
+    println!(
+        "staged delays: {:.6} ns launch + {:.6} ns through {} stage(s) = {:.6} ns",
+        launch.as_ns(),
+        sum - launch.as_ns(),
+        stages.len(),
+        sum
+    );
+    let reported = end_arrival.as_ns();
+    let err = (sum - reported).abs();
+    if err > 1e-6 {
+        return Err(format!(
+            "provenance does not reconstruct the arrival: \
+             staged sum {sum:.9} ns vs reported {reported:.9} ns (|Δ| = {err:.3e})"
+        )
+        .into());
+    }
+    println!("reported worst arrival: {reported:.6} ns (reconstruction error {err:.1e})");
+    Ok(())
+}
+
+fn edge_str(e: ssdm::timing::Edge) -> &'static str {
+    match e {
+        ssdm::timing::Edge::Rise => "R",
+        ssdm::timing::Edge::Fall => "F",
+    }
+}
+
+fn cmd_obs_diff(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    use ssdm::obs::diff::{diff_reports, parse_report, DiffOptions, ParsedReport};
+
+    const USAGE: &str = "usage: ssdm-cli obs-diff <baseline.json> <current.json> [options]";
+    let base_path = args.first().filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let cur_path = args.get(1).filter(|a| !a.starts_with("--")).ok_or(USAGE)?;
+    let mut opts = DiffOptions::default();
+    if let Some(v) = parse_f64_opt(args, "--default-threshold")? {
+        opts.default_rel = v;
+    }
+    if let Some(v) = parse_f64_opt(args, "--span-threshold")? {
+        opts.span_rel = v;
+    }
+    for spec in parse_multi_opt(args, "--threshold")? {
+        let (name, value) = spec
+            .split_once('=')
+            .ok_or("--threshold needs NAME=RELATIVE")?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| "--threshold needs NAME=RELATIVE")?;
+        opts.per_metric.insert(name.to_string(), value);
+    }
+    for name in parse_multi_opt(args, "--higher-better")? {
+        opts.higher_better.insert(name);
+    }
+    let strict = args.iter().any(|a| a == "--strict");
+
+    let load = |path: &str| -> Result<ParsedReport, Box<dyn std::error::Error>> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        parse_report(&text).map_err(|e| format!("{path}: {e}").into())
+    };
+    let base = load(base_path)?;
+    let current = load(cur_path)?;
+    let describe = |r: &ParsedReport| {
+        let tags: Vec<String> = r.meta.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        if tags.is_empty() {
+            r.schema.clone()
+        } else {
+            format!("{}, {}", r.schema, tags.join(", "))
+        }
+    };
+    println!("baseline: {base_path} ({})", describe(&base));
+    println!("current:  {cur_path} ({})", describe(&current));
+    let diff = diff_reports(&base, &current, &opts);
+    print!("{}", diff.to_text());
+    if !diff.is_clean() {
+        return Err(format!(
+            "{} metric(s) regressed beyond threshold",
+            diff.regressions()
+        )
+        .into());
+    }
+    if strict && diff.missing() > 0 {
+        return Err(format!(
+            "{} metric(s) present on only one side (--strict)",
+            diff.missing()
+        )
+        .into());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = (|| -> Result<(), Box<dyn std::error::Error>> {
-        let (cmd, rest) = args
-            .split_first()
-            .ok_or("usage: ssdm-cli <sta|gen|atpg|characterize> …  (see crate docs)")?;
+        let (cmd, rest) = args.split_first().ok_or(
+            "usage: ssdm-cli <sta|gen|atpg|characterize|explain|obs-diff> …  (see crate docs)",
+        )?;
         let obs_args = ObsArgs::parse(rest)?;
         if obs_args.active() {
             ssdm::obs::set_thread_label("main");
@@ -252,6 +514,8 @@ fn main() -> ExitCode {
             "gen" => cmd_gen(rest)?,
             "atpg" => cmd_atpg(rest)?,
             "characterize" => cmd_characterize(rest)?,
+            "explain" => cmd_explain(rest)?,
+            "obs-diff" => cmd_obs_diff(rest)?,
             other => return Err(format!("unknown command {other:?}").into()),
         }
         obs_args.finish()

@@ -5,7 +5,9 @@ use ssdm_core::{Bound, Capacitance, Edge, Time};
 use ssdm_netlist::{Circuit, GateType, NetId};
 
 use crate::error::StaError;
-use crate::propagate::{stage_windows, DelaysUsed, ModelKind};
+use crate::propagate::{
+    emit_corner_events, stage_windows_traced, DelaysUsed, ModelKind, StageProvenance,
+};
 use crate::stage::{stage_plan, StagePlan};
 use crate::window::{LineTiming, PinWindow};
 
@@ -153,7 +155,11 @@ impl<'a> Sta<'a> {
                 .iter()
                 .map(|&f| PinWindow::sta(lines[f.index()]))
                 .collect();
-            let (lt, total_used) = self.propagate_gate(&plan, &pins, loads[id.index()])?;
+            let (lt, total_used, prov) =
+                self.propagate_gate_traced(&plan, &pins, loads[id.index()])?;
+            if ssdm_obs::events_enabled() {
+                emit_corner_events(id.index() as u32, &lt, &prov);
+            }
             lines[id.index()] = lt;
             used[id.index()] = total_used;
             inverting[id.index()] = plan.inverting();
@@ -174,15 +180,36 @@ impl<'a> Sta<'a> {
         pins: &[PinWindow],
         out_load: Capacitance,
     ) -> Result<(LineTiming, DelaysUsed), StaError> {
+        let (lt, used, _) = self.propagate_gate_traced(plan, pins, out_load)?;
+        Ok((lt, used))
+    }
+
+    /// [`Sta::propagate_gate`] plus per-bound corner provenance for the
+    /// composite gate (two-stage plans compose the winner through the
+    /// internal inverter; see [`StageProvenance::compose`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails on missing library cells or cell-query failures.
+    pub fn propagate_gate_traced(
+        &self,
+        plan: &StagePlan,
+        pins: &[PinWindow],
+        out_load: Capacitance,
+    ) -> Result<(LineTiming, DelaysUsed, StageProvenance), StaError> {
         let cell1 = self.library.require(&plan.first)?;
         match &plan.second {
-            None => stage_windows(cell1, self.config.model, pins, out_load),
+            None => stage_windows_traced(cell1, self.config.model, pins, out_load),
             Some(second) => {
                 let cell2 = self.library.require(second)?;
-                let (mid, used1) =
-                    stage_windows(cell1, self.config.model, pins, cell2.input_cap())?;
-                let (out, used2) =
-                    stage_windows(cell2, self.config.model, &[PinWindow::sta(mid)], out_load)?;
+                let (mid, used1, prov1) =
+                    stage_windows_traced(cell1, self.config.model, pins, cell2.input_cap())?;
+                let (out, used2, prov2) = stage_windows_traced(
+                    cell2,
+                    self.config.model,
+                    &[PinWindow::sta(mid)],
+                    out_load,
+                )?;
                 // Compose per-pin delay bounds across the two stages: the
                 // final edge `e` enters pin `i` as edge `e` (two inversions)
                 // and enters the inverter as `e.inverted()`.
@@ -197,7 +224,7 @@ impl<'a> Sta<'a> {
                         };
                     }
                 }
-                Ok((out, total))
+                Ok((out, total, StageProvenance::compose(&prov1, &prov2)))
             }
         }
     }

@@ -48,7 +48,7 @@ use ssdm_netlist::{Circuit, GateType, NetId};
 
 use crate::engine::{StaConfig, StaResult};
 use crate::error::StaError;
-use crate::propagate::{stage_windows, DelaysUsed};
+use crate::propagate::{emit_corner_events, stage_windows_traced, DelaysUsed, StageProvenance};
 use crate::stage::stage_plan;
 use crate::window::{LineTiming, Participation, PinWindow};
 
@@ -310,6 +310,13 @@ impl<'a> IncrementalSta<'a> {
     /// Evaluates one net from the current `lines`/`part` state. Pure in
     /// the memo-key inputs; shared by the sequential, memoized and
     /// parallel paths.
+    ///
+    /// When provenance events are enabled, each evaluation emits one
+    /// `sta.corner` event per surviving output-edge bound. Memo hits do
+    /// **not** re-emit (the corner decision is identical to the cached
+    /// evaluation's, and re-emission would flood the rings on PODEM
+    /// revisits); traced runs that need every gate's corner should use a
+    /// fresh engine or [`crate::Sta::run`].
     fn eval_gate_uncached(&self, idx: usize) -> Result<(LineTiming, DelaysUsed), StaError> {
         let id = NetId(idx);
         let own = self.part[idx];
@@ -334,11 +341,11 @@ impl<'a> IncrementalSta<'a> {
                 participation: self.part[f.index()],
             })
             .collect();
-        let (mut lt, total_used) = match plan.second {
-            None => stage_windows(plan.first, self.config.model, &pins, self.loads[idx])?,
+        let (mut lt, total_used, prov) = match plan.second {
+            None => stage_windows_traced(plan.first, self.config.model, &pins, self.loads[idx])?,
             Some(cell2) => {
-                let (mut mid, used1) =
-                    stage_windows(plan.first, self.config.model, &pins, cell2.input_cap())?;
+                let (mut mid, used1, prov1) =
+                    stage_windows_traced(plan.first, self.config.model, &pins, cell2.input_cap())?;
                 // The internal net is the complement of the gate output,
                 // so its participation is the output's with edges
                 // swapped.
@@ -353,8 +360,8 @@ impl<'a> IncrementalSta<'a> {
                     timing: mid,
                     participation: mid_part,
                 };
-                let (out, used2) =
-                    stage_windows(cell2, self.config.model, &[pin_mid], self.loads[idx])?;
+                let (out, used2, prov2) =
+                    stage_windows_traced(cell2, self.config.model, &[pin_mid], self.loads[idx])?;
                 // Compose per-pin delay bounds across the two stages: the
                 // final edge `e` enters pin `i` as edge `e` (two
                 // inversions) and enters the inverter as `e.inverted()`.
@@ -368,10 +375,13 @@ impl<'a> IncrementalSta<'a> {
                             };
                     }
                 }
-                (out, total)
+                (out, total, StageProvenance::compose(&prov1, &prov2))
             }
         };
         veto(&mut lt);
+        if ssdm_obs::events_enabled() {
+            emit_corner_events(idx as u32, &lt, &prov);
+        }
         Ok((lt, total_used))
     }
 
@@ -528,6 +538,14 @@ impl<'a> IncrementalSta<'a> {
         }
         let _span = ssdm_obs::span("sta.refine");
         self.counters.incremental_passes.incr();
+        // Seed tracking only exists to attribute shrink events; skip the
+        // allocation entirely on untraced runs.
+        let events = ssdm_obs::events_enabled();
+        let mut seeded = if events {
+            vec![false; part.len()]
+        } else {
+            Vec::new()
+        };
         // Min-heap of dirty net indices: fan-outs always have larger
         // topological indices, so popping in index order both respects
         // dependencies and guarantees each net is evaluated at most once.
@@ -545,6 +563,9 @@ impl<'a> IncrementalSta<'a> {
             if p != self.part[i] {
                 self.part[i] = p;
                 seeds += 1;
+                if events {
+                    seeded[i] = true;
+                }
                 push(&mut heap, &mut queued, i);
                 for &c in self.circuit.fanouts(NetId(i)) {
                     push(&mut heap, &mut queued, c.index());
@@ -557,6 +578,9 @@ impl<'a> IncrementalSta<'a> {
             let (lt, du) = self.eval_gate(i)?;
             evaluated += 1;
             if lt != self.lines[i] || du != self.used[i] {
+                if events {
+                    emit_shrink_events(i as u32, &self.lines[i], &lt, seeded[i]);
+                }
                 self.lines[i] = lt;
                 self.used[i] = du;
                 for &c in self.circuit.fanouts(NetId(i)) {
@@ -605,6 +629,41 @@ impl<'a> IncrementalSta<'a> {
             self.inverting.clone(),
             self.config.model,
         )
+    }
+}
+
+/// Emits one `itr.shrink` provenance event per output edge whose window
+/// changed in a refinement step: a vetoed edge (window removed outright)
+/// records [`ShrinkCause::Veto`]; otherwise the arrival-width delta is
+/// recorded (positive = the window tightened), attributed to
+/// [`ShrinkCause::Seed`] when the net's own participation changed this
+/// pass and [`ShrinkCause::Upstream`] when the change rippled in through
+/// its fan-in cone.
+fn emit_shrink_events(net: u32, old: &LineTiming, new: &LineTiming, seed: bool) {
+    use ssdm_obs::ShrinkCause;
+    let cause = if seed {
+        ShrinkCause::Seed
+    } else {
+        ShrinkCause::Upstream
+    };
+    for e in Edge::BOTH {
+        match (old.edge(e), new.edge(e)) {
+            (Some(_), None) => ssdm_obs::event(|| ssdm_obs::Event::ItrShrink {
+                net,
+                edge: crate::propagate::event_edge(e),
+                cause: ShrinkCause::Veto,
+                amount_ns: 0.0,
+            }),
+            (Some(o), Some(n)) if o.arrival != n.arrival => {
+                ssdm_obs::event(|| ssdm_obs::Event::ItrShrink {
+                    net,
+                    edge: crate::propagate::event_edge(e),
+                    cause,
+                    amount_ns: (o.arrival.width() - n.arrival.width()).as_ns(),
+                })
+            }
+            _ => {}
+        }
     }
 }
 
@@ -729,6 +788,42 @@ mod tests {
         assert_eq!(b.gates_evaluated, 8);
         assert_eq!(b.memo_evictions, 14);
         assert_eq!(a + IncrementalStats::default(), a);
+    }
+
+    #[test]
+    fn traced_refine_emits_shrink_and_corner_events() {
+        let c = suite::c17();
+        let lib = library();
+        let mut eng = IncrementalSta::new(&c, lib, StaConfig::default()).unwrap();
+        let mut part = unconstrained_participation(c.n_nets());
+        eng.full_pass(&part).unwrap();
+        ssdm_obs::set_events_enabled(true);
+        let pi = c.inputs()[0];
+        part[pi.index()][Edge::Fall.index()] = Participation::Cannot;
+        eng.refine(&part).unwrap();
+        ssdm_obs::set_events_enabled(false);
+        let report = ssdm_obs::capture();
+        let events: Vec<&ssdm_obs::EventRecord> = report
+            .threads
+            .iter()
+            .flat_map(|t| t.events.iter())
+            .collect();
+        // The vetoed PI edge records a Veto-cause shrink on its own net.
+        assert!(
+            events.iter().any(|r| matches!(
+                r.event,
+                ssdm_obs::Event::ItrShrink {
+                    net,
+                    cause: ssdm_obs::ShrinkCause::Veto,
+                    ..
+                } if net == pi.index() as u32
+            )),
+            "no veto shrink recorded for net {pi:?}"
+        );
+        // Recomputing the dirty cone records fresh corner decisions.
+        assert!(events
+            .iter()
+            .any(|r| matches!(r.event, ssdm_obs::Event::StaCorner { .. })));
     }
 
     #[test]

@@ -61,7 +61,9 @@ pub use incremental::{
 
 pub use engine::{Sta, StaConfig, StaResult, TimingView};
 pub use error::StaError;
-pub use propagate::{stage_windows, DelaysUsed, ModelKind};
+pub use propagate::{
+    stage_windows, stage_windows_traced, CornerChoice, DelaysUsed, ModelKind, StageProvenance,
+};
 pub use report::{critical_path, slowest_endpoint, timing_report, PathStep};
 pub use stage::{stage_plan, StagePlan};
 pub use window::{EdgeTiming, LineTiming, Participation, PinWindow};

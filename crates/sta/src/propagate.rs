@@ -5,6 +5,7 @@
 
 use ssdm_cells::CharacterizedGate;
 use ssdm_core::{Bound, Capacitance, Edge, Time};
+use ssdm_obs::{DelayTerm, Event, EventBound, EventEdge};
 
 use crate::error::StaError;
 use crate::window::{EdgeTiming, LineTiming, Participation, PinWindow};
@@ -65,6 +66,92 @@ impl ModelKind {
 /// `used[pin][in_edge.index()]`.
 pub type DelaysUsed = Vec<[Option<Bound>; 2]>;
 
+/// The winning corner of one bound of one output-edge window: which input
+/// pin's transition was binding, through which model term, and the stage
+/// delay it contributed. By construction the winner's arrival bound plus
+/// `delay` equals the output arrival bound exactly (for a single stage) or
+/// within one rounding of the composed sum (two stages), which is what
+/// lets `ssdm-cli explain` re-derive an arrival from its attribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CornerChoice {
+    /// Input pin index of the binding transition.
+    pub pin: usize,
+    /// The V-shape segment / model term that produced the delay.
+    pub term: DelayTerm,
+    /// The stage delay the winner contributed.
+    pub delay: Time,
+}
+
+/// Per-gate provenance: the winning corner of each output-edge arrival
+/// bound, recorded by [`stage_windows_traced`]. Indexed
+/// `corners[out_edge.index()][bound]` with bound 0 = min (earliest), 1 =
+/// max (latest); `None` when that output edge has no window.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageProvenance {
+    /// The winning corner per output edge and bound.
+    pub corners: [[Option<CornerChoice>; 2]; 2],
+}
+
+impl StageProvenance {
+    /// Composes two stages' provenance (a NAND/NOR/INV first stage
+    /// followed by an inverter): the final output edge `e` leaves the
+    /// first stage as `e.inverted()`, the winning pin and term come from
+    /// the first stage, and the two stage delays sum.
+    pub fn compose(first: &StageProvenance, second: &StageProvenance) -> StageProvenance {
+        let mut out = StageProvenance::default();
+        for e in Edge::BOTH {
+            let m = e.inverted();
+            for bound in 0..2 {
+                out.corners[e.index()][bound] = match (
+                    first.corners[m.index()][bound],
+                    second.corners[e.index()][bound],
+                ) {
+                    (Some(c1), Some(c2)) => Some(CornerChoice {
+                        pin: c1.pin,
+                        term: c1.term,
+                        delay: c1.delay + c2.delay,
+                    }),
+                    _ => None,
+                };
+            }
+        }
+        out
+    }
+}
+
+/// Emits one `sta.corner` provenance event per surviving output-edge
+/// bound of a freshly evaluated gate. Vetoed edges (no window in `lt`)
+/// are skipped. Call sites should guard on [`ssdm_obs::events_enabled`];
+/// the per-event closure guard inside [`ssdm_obs::event`] still makes
+/// this free when tracing is off.
+pub fn emit_corner_events(net: u32, lt: &LineTiming, prov: &StageProvenance) {
+    for e in Edge::BOTH {
+        if lt.edge(e).is_none() {
+            continue;
+        }
+        for (bound, kind) in [(0, EventBound::Min), (1, EventBound::Max)] {
+            if let Some(c) = prov.corners[e.index()][bound] {
+                ssdm_obs::event(|| Event::StaCorner {
+                    net,
+                    edge: event_edge(e),
+                    bound: kind,
+                    pin: c.pin as u32,
+                    term: c.term,
+                    delay_ns: c.delay.as_ns(),
+                });
+            }
+        }
+    }
+}
+
+/// The obs-crate rendering of a core [`Edge`].
+pub fn event_edge(e: Edge) -> EventEdge {
+    match e {
+        Edge::Rise => EventEdge::Rise,
+        Edge::Fall => EventEdge::Fall,
+    }
+}
+
 /// Propagates input windows through one cell stage.
 ///
 /// Returns the output [`LineTiming`] and the per-pin delay windows used.
@@ -83,6 +170,28 @@ pub fn stage_windows(
     pins: &[PinWindow],
     load: Capacitance,
 ) -> Result<(LineTiming, DelaysUsed), StaError> {
+    let (out, used, _) = stage_windows_traced(cell, model, pins, load)?;
+    Ok((out, used))
+}
+
+/// [`stage_windows`] plus per-bound corner provenance: which input pin
+/// won each output-edge arrival bound, through which model term, and the
+/// delay it contributed. The timing results are bit-identical to the
+/// untraced call (which delegates here).
+///
+/// # Errors
+///
+/// Propagates characterized-cell query failures.
+///
+/// # Panics
+///
+/// Panics if `pins.len()` differs from the cell's input count.
+pub fn stage_windows_traced(
+    cell: &CharacterizedGate,
+    model: ModelKind,
+    pins: &[PinWindow],
+    load: Capacitance,
+) -> Result<(LineTiming, DelaysUsed, StageProvenance), StaError> {
     assert_eq!(
         pins.len(),
         cell.n_inputs(),
@@ -91,15 +200,18 @@ pub fn stage_windows(
     );
     let mut out = LineTiming::default();
     let mut used: DelaysUsed = vec![[None, None]; pins.len()];
+    let mut prov = StageProvenance::default();
     for out_edge in Edge::BOTH {
         let in_edge = out_edge.inverted();
-        let (timing, stage_used) = edge_windows(cell, model, pins, load, out_edge, in_edge)?;
+        let (timing, stage_used, corners) =
+            edge_windows(cell, model, pins, load, out_edge, in_edge)?;
         out.set_edge(out_edge, timing);
+        prov.corners[out_edge.index()] = corners;
         for (pin, b) in stage_used.into_iter().enumerate() {
             used[pin][in_edge.index()] = b;
         }
     }
-    Ok((out, used))
+    Ok((out, used, prov))
 }
 
 /// One active input, with its pre-computed pin-delay corners.
@@ -124,7 +236,14 @@ fn edge_windows(
     load: Capacitance,
     out_edge: Edge,
     in_edge: Edge,
-) -> Result<(Option<EdgeTiming>, Vec<Option<Bound>>), StaError> {
+) -> Result<
+    (
+        Option<EdgeTiming>,
+        Vec<Option<Bound>>,
+        [Option<CornerChoice>; 2],
+    ),
+    StaError,
+> {
     let mut active: Vec<Active> = Vec::with_capacity(pins.len());
     for (pin, pw) in pins.iter().enumerate() {
         if !pw.part(in_edge).possible() {
@@ -155,12 +274,17 @@ fn edge_windows(
         });
     }
     if active.is_empty() {
-        return Ok((None, vec![None; pins.len()]));
+        return Ok((None, vec![None; pins.len()], [None, None]));
     }
     let ctrl = cell.n_inputs() >= 2 && out_edge == cell.ctrl_out_edge();
     let any_must = active.iter().any(|a| a.must);
 
     // --- Arrival window -------------------------------------------------
+    // Alongside each bound, remember which input's corner was binding
+    // (first strictly-better candidate wins, preserving the exact values
+    // the previous fold-based search produced).
+    let mut min_choice: Option<CornerChoice> = None;
+    let mut max_choice: Option<CornerChoice> = None;
     let (a_s, a_l, min_used) = if ctrl {
         // To-controlling: the earliest participating transition triggers
         // the output.
@@ -171,31 +295,56 @@ fn edge_windows(
             // when vectors are fully specified, Section 5).
             let mut best = Time::INFINITY;
             for trig in active.iter().filter(|a| a.must) {
-                let d = if model.vshape() {
+                let (d, term) = if model.vshape() {
                     composed_max(cell, load, trig, &active)?
                 } else {
-                    trig.dmax
+                    (trig.dmax, DelayTerm::Dr)
                 };
-                best = best.min(trig.arrival.l() + d);
+                let cand = trig.arrival.l() + d;
+                if cand < best {
+                    best = cand;
+                    max_choice = Some(CornerChoice {
+                        pin: trig.pin,
+                        term,
+                        delay: d,
+                    });
+                }
             }
             best
         } else {
             // Any single input might be the only one switching.
-            active
-                .iter()
-                .map(|a| a.arrival.l() + a.dmax)
-                .fold(Time::NEG_INFINITY, Time::max)
+            let mut best = Time::NEG_INFINITY;
+            for a in &active {
+                let cand = a.arrival.l() + a.dmax;
+                if cand > best {
+                    best = cand;
+                    max_choice = Some(CornerChoice {
+                        pin: a.pin,
+                        term: DelayTerm::Dr,
+                        delay: a.dmax,
+                    });
+                }
+            }
+            best
         };
         let mut a_s = Time::INFINITY;
         let mut min_used: Vec<Time> = active.iter().map(|a| a.dmin).collect();
         for (idx, trig) in active.iter().enumerate() {
-            let d = if model.vshape() {
+            let (d, term) = if model.vshape() {
                 composed_min(cell, load, trig, &active)?
             } else {
-                trig.dmin
+                (trig.dmin, DelayTerm::Dr)
             };
             min_used[idx] = min_used[idx].min(d);
-            a_s = a_s.min(trig.arrival.s() + d);
+            let cand = trig.arrival.s() + d;
+            if cand < a_s {
+                a_s = cand;
+                min_choice = Some(CornerChoice {
+                    pin: trig.pin,
+                    term,
+                    delay: d,
+                });
+            }
         }
         (a_s, a_l, min_used)
     } else {
@@ -206,6 +355,7 @@ fn edge_windows(
         let mut a_l = Time::NEG_INFINITY;
         for trig in &active {
             let mut d = trig.dmax;
+            let mut term = DelayTerm::Dr;
             if model.miller() && cell.n_inputs() >= 2 {
                 for other in &active {
                     if other.pin == trig.pin {
@@ -222,23 +372,53 @@ fn edge_windows(
                     };
                     let skews = other.arrival.sub(trig.arrival);
                     let bump = (v.max_over(skews) - v.left_knee().1).max(Time::ZERO);
+                    if bump > Time::ZERO {
+                        term = DelayTerm::Miller;
+                    }
                     d += bump;
                 }
             }
-            a_l = a_l.max(trig.arrival.l() + d);
+            let cand = trig.arrival.l() + d;
+            if cand > a_l {
+                a_l = cand;
+                max_choice = Some(CornerChoice {
+                    pin: trig.pin,
+                    term,
+                    delay: d,
+                });
+            }
         }
-        let single_min = active
-            .iter()
-            .map(|a| a.arrival.s() + a.dmin)
-            .fold(Time::INFINITY, Time::min);
-        let must_min = active
-            .iter()
-            .filter(|a| a.must)
-            .map(|a| a.arrival.s() + a.dmin)
-            .fold(Time::NEG_INFINITY, Time::max);
-        let a_s = if any_must {
-            single_min.max(must_min)
+        let mut single_min = Time::INFINITY;
+        let mut single_choice: Option<CornerChoice> = None;
+        for a in &active {
+            let cand = a.arrival.s() + a.dmin;
+            if cand < single_min {
+                single_min = cand;
+                single_choice = Some(CornerChoice {
+                    pin: a.pin,
+                    term: DelayTerm::Dr,
+                    delay: a.dmin,
+                });
+            }
+        }
+        let mut must_min = Time::NEG_INFINITY;
+        let mut must_choice: Option<CornerChoice> = None;
+        for a in active.iter().filter(|a| a.must) {
+            let cand = a.arrival.s() + a.dmin;
+            if cand > must_min {
+                must_min = cand;
+                must_choice = Some(CornerChoice {
+                    pin: a.pin,
+                    term: DelayTerm::Dr,
+                    delay: a.dmin,
+                });
+            }
+        }
+        let a_s = if any_must && must_min >= single_min {
+            min_choice = must_choice;
+            must_min
         } else {
+            min_choice = single_choice;
             single_min
         };
         let min_used = active.iter().map(|a| a.dmin).collect();
@@ -298,20 +478,29 @@ fn edge_windows(
     for (idx, a) in active.iter().enumerate() {
         used[a.pin] = Some(Bound::hull(min_used[idx], a.dmax));
     }
-    Ok((Some(EdgeTiming { arrival, ttime }), used))
+    Ok((
+        Some(EdgeTiming { arrival, ttime }),
+        used,
+        [min_choice, max_choice],
+    ))
 }
 
 /// The smallest delay achievable when `trig` is the earliest switching
 /// input: its pin-to-pin minimum, scaled down by each other input's best
 /// pairwise V-shape ratio over the achievable skews, floored by the
 /// characterized k-way zero-skew delay (Section 3.6 extension).
+///
+/// Also classifies which model term produced the result: `DR` when no
+/// companion speed-up applied, `SR` when a saturation-skew ratio scaled
+/// the delay, `D0R` when the k-way zero-skew floor was binding.
 fn composed_min(
     cell: &CharacterizedGate,
     load: Capacitance,
     trig: &Active,
     active: &[Active],
-) -> Result<Time, StaError> {
+) -> Result<(Time, DelayTerm), StaError> {
     let mut d = trig.dmin;
+    let mut scaled = false;
     let mut k_sim = 1usize;
     let mut t_small_sum = cell.clamp_t(trig.ttime.s());
     for other in active {
@@ -341,32 +530,40 @@ fn composed_min(
                 }
             }
         }
+        if best_ratio < 1.0 {
+            scaled = true;
+        }
         d = d * best_ratio;
         if in_window {
             k_sim += 1;
             t_small_sum += cell.clamp_t(other.ttime.s());
         }
     }
+    let mut term = if scaled { DelayTerm::Sr } else { DelayTerm::Dr };
     if k_sim >= 2 {
         if let Ok(floor) = cell.kway_floor(k_sim, t_small_sum / k_sim as f64) {
-            d = d.max(floor);
+            if floor > d {
+                d = floor;
+                term = DelayTerm::D0r;
+            }
         }
     }
-    Ok(d)
+    Ok((d, term))
 }
 
 /// The largest delay achievable when `trig` (a `Must` input) may be the
 /// latest trigger: its pin-to-pin maximum, scaled by each other `Must`
 /// input's *worst-case* (largest) pairwise V-shape ratio over the
 /// achievable skews — a definite companion transition reduces the delay by
-/// at least that much.
+/// at least that much. Term classification as in [`composed_min`].
 fn composed_max(
     cell: &CharacterizedGate,
     load: Capacitance,
     trig: &Active,
     active: &[Active],
-) -> Result<Time, StaError> {
+) -> Result<(Time, DelayTerm), StaError> {
     let mut d = trig.dmax;
+    let mut scaled = false;
     let mut k_sim = 1usize;
     let mut t_large_sum = cell.clamp_t(trig.ttime.l());
     for other in active {
@@ -397,20 +594,27 @@ fn composed_max(
                 }
             }
         }
+        if worst_ratio < 1.0 {
+            scaled = true;
+        }
         d = d * worst_ratio;
         if always_in_window {
             k_sim += 1;
             t_large_sum += cell.clamp_t(other.ttime.l());
         }
     }
+    let mut term = if scaled { DelayTerm::Sr } else { DelayTerm::Dr };
     // The composed upper bound must never dip below the characterized
     // zero-skew floor (a lower bound on any simultaneous delay).
     if k_sim >= 2 {
         if let Ok(floor) = cell.kway_floor(k_sim, t_large_sum / k_sim as f64) {
-            d = d.max(floor);
+            if floor > d {
+                d = floor;
+                term = DelayTerm::D0r;
+            }
         }
     }
-    Ok(d)
+    Ok((d, term))
 }
 
 fn clamp_range(cell: &CharacterizedGate, t: Bound) -> (Time, Time) {
@@ -568,5 +772,117 @@ mod tests {
     fn pin_count_is_validated() {
         let cell = nand2();
         let _ = stage_windows(cell, ModelKind::Proposed, &[], cell.ref_load());
+    }
+
+    #[test]
+    fn traced_corners_reconstruct_the_arrival_bounds() {
+        let cell = nand2();
+        let pins = vec![
+            sta_pin(b(0.0, 1.0), b(0.2, 0.6)),
+            sta_pin(b(0.3, 0.8), b(0.2, 0.6)),
+        ];
+        let (lt, used, prov) =
+            stage_windows_traced(cell, ModelKind::Proposed, &pins, cell.ref_load()).unwrap();
+        let (lt2, used2) =
+            stage_windows(cell, ModelKind::Proposed, &pins, cell.ref_load()).unwrap();
+        assert_eq!(lt, lt2, "traced and untraced timing must be identical");
+        assert_eq!(used, used2);
+        for e in Edge::BOTH {
+            let et = lt.edge(e).expect("both edges live");
+            let in_edge = e.inverted();
+            // Min bound: winner's earliest arrival plus its delay is the
+            // output's earliest arrival, exactly.
+            let c = prov.corners[e.index()][0].expect("min corner");
+            let win = pins[c.pin].timing.edge(in_edge).unwrap();
+            assert_eq!(win.arrival.s() + c.delay, et.arrival.s(), "{e} min");
+            // Max bound likewise.
+            let c = prov.corners[e.index()][1].expect("max corner");
+            let win = pins[c.pin].timing.edge(in_edge).unwrap();
+            assert_eq!(win.arrival.l() + c.delay, et.arrival.l(), "{e} max");
+        }
+    }
+
+    #[test]
+    fn traced_terms_classify_the_model_segment() {
+        let cell = nand2();
+        // Overlapping arrival windows: the to-controlling (rise) min
+        // corner rides a V-shape segment, not the single-switch arm.
+        let pins = vec![
+            sta_pin(b(0.0, 0.5), b(0.2, 0.6)),
+            sta_pin(b(0.0, 0.5), b(0.2, 0.6)),
+        ];
+        let (_, _, prov) =
+            stage_windows_traced(cell, ModelKind::Proposed, &pins, cell.ref_load()).unwrap();
+        let rise_min = prov.corners[Edge::Rise.index()][0].unwrap();
+        assert!(
+            matches!(rise_min.term, DelayTerm::Sr | DelayTerm::D0r),
+            "simultaneous speed-up must be attributed to a V-shape term, got {:?}",
+            rise_min.term
+        );
+        // The max bound of a to-controlling output without Must inputs is
+        // a plain single-switch corner.
+        let rise_max = prov.corners[Edge::Rise.index()][1].unwrap();
+        assert_eq!(rise_max.term, DelayTerm::Dr);
+        // Pin-to-pin never attributes V-shape terms anywhere.
+        let (_, _, p2p) =
+            stage_windows_traced(cell, ModelKind::PinToPin, &pins, cell.ref_load()).unwrap();
+        for e in Edge::BOTH {
+            for bound in 0..2 {
+                assert_eq!(p2p.corners[e.index()][bound].unwrap().term, DelayTerm::Dr);
+            }
+        }
+        // Disjoint windows disable the speed-up and the attribution
+        // follows suit.
+        let far = vec![
+            sta_pin(b(0.0, 0.1), b(0.3, 0.3)),
+            sta_pin(b(8.0, 9.0), b(0.3, 0.3)),
+        ];
+        let (_, _, prov) =
+            stage_windows_traced(cell, ModelKind::Proposed, &far, cell.ref_load()).unwrap();
+        assert_eq!(
+            prov.corners[Edge::Rise.index()][0].unwrap().term,
+            DelayTerm::Dr,
+            "no overlap → single-switch arm"
+        );
+    }
+
+    #[test]
+    fn composed_provenance_sums_stage_delays() {
+        let first = StageProvenance {
+            corners: [
+                [
+                    Some(CornerChoice {
+                        pin: 1,
+                        term: DelayTerm::Sr,
+                        delay: ns(0.25),
+                    }),
+                    None,
+                ],
+                [None, None],
+            ],
+        };
+        let second = StageProvenance {
+            corners: [
+                [None, None],
+                [
+                    Some(CornerChoice {
+                        pin: 0,
+                        term: DelayTerm::Dr,
+                        delay: ns(0.125),
+                    }),
+                    None,
+                ],
+            ],
+        };
+        let out = StageProvenance::compose(&first, &second);
+        // Final fall min: first stage's rise min (pin 1, SR) plus the
+        // inverter's fall min delay.
+        let c = out.corners[Edge::Fall.index()][0].unwrap();
+        assert_eq!(c.pin, 1);
+        assert_eq!(c.term, DelayTerm::Sr);
+        assert_eq!(c.delay, ns(0.375));
+        // Anything missing a stage stays None.
+        assert!(out.corners[Edge::Rise.index()][0].is_none());
+        assert!(out.corners[Edge::Fall.index()][1].is_none());
     }
 }

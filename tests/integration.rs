@@ -331,3 +331,93 @@ fn instrumented_campaign_yields_valid_trace_and_metrics() {
         assert_eq!(*d, 0, "unbalanced events on tid {tid}");
     }
 }
+
+/// End-to-end runs of the provenance/observability CLI commands.
+mod cli {
+    use std::path::Path;
+    use std::process::{Command, Output};
+
+    /// Runs `ssdm-cli` from the workspace root (so the library cache under
+    /// `target/ssdm-cache` is shared with every other invocation).
+    fn cli(args: &[&str]) -> Output {
+        Command::new(env!("CARGO_BIN_EXE_ssdm-cli"))
+            .args(args)
+            .current_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+            .output()
+            .expect("spawn ssdm-cli")
+    }
+
+    #[test]
+    fn explain_reconstructs_the_critical_path() {
+        let out = cli(&["explain", "c17"]);
+        assert!(
+            out.status.success(),
+            "explain failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("Critical path — c17"), "{text}");
+        assert!(text.contains("(launch)"), "{text}");
+        // Every stage names a V-shape term; with all-unknown inputs the
+        // late corner is the single-switch arm.
+        assert!(text.contains("DR"), "{text}");
+        // The command self-checks that staged delays sum to the reported
+        // arrival and exits non-zero otherwise, so reaching this line
+        // means the reconstruction was exact.
+        assert!(text.contains("reported worst arrival"), "{text}");
+    }
+
+    #[test]
+    fn obs_diff_gates_on_counter_regressions() {
+        let dir = std::env::temp_dir();
+        let base = dir.join("ssdm_obs_diff_base.json");
+        let cur = dir.join("ssdm_obs_diff_cur.json");
+        let report = |backtracks: u64| {
+            format!(
+                r#"{{"schema": "ssdm-obs/1", "counters": {{"atpg.podem.backtracks": {backtracks}}}, "histograms": {{}}, "spans": {{}}, "threads": []}}"#
+            )
+        };
+        std::fs::write(&base, report(100)).unwrap();
+        std::fs::write(&cur, report(200)).unwrap();
+        let base = base.to_str().unwrap();
+        let cur = cur.to_str().unwrap();
+
+        // A report diffed against itself is always clean.
+        let out = cli(&["obs-diff", base, base]);
+        assert!(
+            out.status.success(),
+            "self-diff regressed: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+
+        // A doubled counter exceeds the default ±50% threshold: exit 1
+        // and the offending metric is named.
+        let out = cli(&["obs-diff", base, cur]);
+        assert_eq!(out.status.code(), Some(1));
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.contains("atpg.podem.backtracks"), "{text}");
+
+        // The same change passes once the threshold is raised above 2x.
+        let out = cli(&["obs-diff", base, cur, "--default-threshold", "1.5"]);
+        assert!(
+            out.status.success(),
+            "raised threshold still failed: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+
+        // ...but a drop regresses when the counter is higher-better and
+        // the direction flips (200 -> 100 is exactly -50%, so gate it
+        // with a threshold strictly below the change).
+        let out = cli(&[
+            "obs-diff",
+            cur,
+            base,
+            "--higher-better",
+            "atpg.podem.backtracks",
+            "--default-threshold",
+            "0.4",
+        ]);
+        assert_eq!(out.status.code(), Some(1));
+    }
+}
