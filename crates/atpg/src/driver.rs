@@ -304,6 +304,11 @@ impl<'a> AtpgDriver<'a> {
     /// data.
     pub fn run(&self, sites: &[CrosstalkSite]) -> Result<CampaignResult, AtpgError> {
         let _span = ssdm_obs::span("atpg.driver");
+        // Announce the campaign to the live-telemetry progress layer
+        // (one relaxed load when it is disabled). Heartbeats feed the
+        // /healthz liveness view and the ETA; they never influence
+        // scheduling, so outcomes stay bit-identical either way.
+        ssdm_obs::progress::set_campaign(sites.len() as u64);
         let (speculative, timing) = if self.jobs > 1 && sites.len() > 1 {
             self.speculate(sites)?
         } else {
@@ -332,6 +337,7 @@ impl<'a> AtpgDriver<'a> {
                 let _span = ssdm_obs::span("atpg.speculate");
                 let searched = ssdm_obs::counter("atpg.worker.searched");
                 let skipped = ssdm_obs::counter("atpg.worker.skipped");
+                let heartbeat = ssdm_obs::progress::heartbeat(|| format!("atpg.worker.{w}"));
                 let atpg = Atpg::new(self.circuit, self.library, self.config.clone());
                 let replayer = TestReplayer::new(self.circuit, self.library, &self.config)?;
                 let mut local = Vec::new();
@@ -340,10 +346,15 @@ impl<'a> AtpgDriver<'a> {
                     if j >= n {
                         break;
                     }
+                    heartbeat.beat(j as u64);
                     if dropped[j].load(Ordering::Acquire) {
                         // Skipped, not decided: the resolve pass either
                         // confirms the drop or searches the site itself.
+                        // The heartbeat still retires the site — that is
+                        // what makes the campaign ETA track the drop
+                        // rate.
                         skipped.incr();
+                        heartbeat.done();
                         continue;
                     }
                     searched.incr();
@@ -356,8 +367,10 @@ impl<'a> AtpgDriver<'a> {
                             }
                         }
                     }
+                    heartbeat.done();
                     local.push((j, outcome));
                 }
+                heartbeat.finish();
                 Ok((local, atpg.timing_stats()))
             };
         let results: Vec<_> = std::thread::scope(|scope| {
@@ -400,16 +413,26 @@ impl<'a> AtpgDriver<'a> {
         let dropped = ssdm_obs::counter("atpg.campaign.dropped");
         let undetectable = ssdm_obs::counter("atpg.campaign.undetectable");
         let aborted = ssdm_obs::counter("atpg.campaign.aborted");
+        let heartbeat = ssdm_obs::progress::heartbeat(|| "atpg.resolve".to_string());
         let atpg = Atpg::new(self.circuit, self.library, self.config.clone());
         let replayer = TestReplayer::new(self.circuit, self.library, &self.config)?;
         let n = sites.len();
         let mut dropped_by: Vec<Option<usize>> = vec![None; n];
         let mut outcomes: Vec<SiteOutcome> = Vec::with_capacity(n);
         for (j, slot) in speculative.into_iter().enumerate() {
+            heartbeat.beat(j as u64);
+            // Progress accounting: the speculative workers already
+            // retired every site they claimed, so the resolve lane only
+            // counts sites it decides fresh (serial campaigns, or sites
+            // the speculative phase skipped).
+            let fresh = slot.is_none();
             if let Some(by) = dropped_by[j] {
                 detected.incr();
                 dropped.incr();
                 outcomes.push(SiteOutcome::Dropped { by });
+                if fresh {
+                    heartbeat.done();
+                }
                 continue;
             }
             let outcome = match slot {
@@ -440,7 +463,11 @@ impl<'a> AtpgDriver<'a> {
                     SiteOutcome::Aborted
                 }
             });
+            if fresh {
+                heartbeat.done();
+            }
         }
+        heartbeat.finish();
         timing += atpg.timing_stats();
         let stats = AtpgStats {
             detected: detected.get() as usize,

@@ -79,6 +79,7 @@ fn report_speedup(circuit: &Circuit, lib: &CellLibrary) {
 }
 
 fn bench_incremental(c: &mut Criterion) {
+    ssdm_bench::serve_from_env();
     let lib = fast_library().expect("library");
     let circuit = ssdm_netlist::suite::synthetic("c7552s").expect("suite member");
     report_speedup(&circuit, &lib);

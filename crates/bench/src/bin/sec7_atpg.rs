@@ -33,6 +33,7 @@ fn campaign(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    ssdm_bench::serve_from_env();
     let lib = full_library()?;
     println!("Section 7 — crosstalk ATPG efficiency, ITR on vs off");
     println!();

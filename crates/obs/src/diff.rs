@@ -238,7 +238,20 @@ impl DiffReport {
 
     /// Number of metrics present on only one side.
     pub fn missing(&self) -> usize {
-        self.count(DiffStatus::MissingInBaseline) + self.count(DiffStatus::MissingInCurrent)
+        self.missing_in_baseline() + self.missing_in_current()
+    }
+
+    /// Number of metrics present only in the current report (new
+    /// coverage).
+    pub fn missing_in_baseline(&self) -> usize {
+        self.count(DiffStatus::MissingInBaseline)
+    }
+
+    /// Number of metrics present in the baseline but absent from the
+    /// current report (lost coverage — what `--fail-on-missing` gates
+    /// on).
+    pub fn missing_in_current(&self) -> usize {
+        self.count(DiffStatus::MissingInCurrent)
     }
 
     /// Whether no metric regressed (missing metrics do not count; gate
@@ -288,12 +301,13 @@ impl DiffReport {
         let _ = writeln!(
             out,
             "{} metric(s) compared, {} ok, {} improved, {} regressed, \
-             {} missing, {} below noise floor",
+             {} only-in-baseline, {} only-in-current, {} below noise floor",
             self.entries.len(),
             self.count(DiffStatus::Ok),
             self.count(DiffStatus::Improved),
             self.regressions(),
-            self.missing(),
+            self.missing_in_current(),
+            self.missing_in_baseline(),
             self.skipped
         );
         out
@@ -307,10 +321,17 @@ pub fn diff_reports(base: &ParsedReport, current: &ParsedReport, opts: &DiffOpti
     for key in keys {
         let b = base.metrics.get(key).copied();
         let c = current.metrics.get(key).copied();
-        let floor = opts.floor(key);
-        if b.unwrap_or(0.0).abs() < floor && c.unwrap_or(0.0).abs() < floor {
-            report.skipped += 1;
-            continue;
+        // The noise floor applies only when both sides actually measured
+        // a value. A metric present in one report and absent from the
+        // other is a coverage change, not noise — flooring it (a missing
+        // side used to read as 0 here) silently hid baseline metrics
+        // that vanished from the candidate.
+        if let (Some(b), Some(c)) = (b, c) {
+            let floor = opts.floor(key);
+            if b.abs() < floor && c.abs() < floor {
+                report.skipped += 1;
+                continue;
+            }
         }
         let threshold = opts.threshold(key);
         let (rel_change, status) = match (b, c) {
@@ -469,9 +490,29 @@ mod tests {
         let by_status: Vec<_> = d.entries.iter().map(|e| e.status).collect();
         assert!(by_status.contains(&DiffStatus::MissingInCurrent));
         assert!(by_status.contains(&DiffStatus::MissingInBaseline));
+        assert_eq!(d.missing_in_current(), 1);
+        assert_eq!(d.missing_in_baseline(), 1);
         let text = d.to_text();
         assert!(text.contains("MISSING-IN-CURRENT"));
         assert!(text.contains("MISSING-IN-BASELINE"));
+        assert!(text.contains("1 only-in-baseline"));
+        assert!(text.contains("1 only-in-current"));
+    }
+
+    #[test]
+    fn missing_metrics_below_the_noise_floor_still_surface() {
+        // Regression guard: the floor used to read a missing side as 0,
+        // so a baseline-only counter worth less than the floor vanished
+        // from the diff entirely.
+        let base = report(&[("counter:tiny.gone", 2.0)]);
+        let cur = report(&[]);
+        let d = diff_reports(&base, &cur, &DiffOptions::default());
+        assert_eq!(d.skipped, 0);
+        assert_eq!(d.missing_in_current(), 1);
+        assert_eq!(d.entries[0].status, DiffStatus::MissingInCurrent);
+        // Symmetric direction: a tiny brand-new metric is still new.
+        let d = diff_reports(&cur, &base, &DiffOptions::default());
+        assert_eq!(d.missing_in_baseline(), 1);
     }
 
     #[test]

@@ -50,6 +50,17 @@
 //! relative regression thresholds — the engine behind `ssdm-cli
 //! obs-diff` and the CI perf gate.
 //!
+//! # Live telemetry
+//!
+//! The [`serve`] module exposes the live registry over HTTP
+//! (`/metrics` in Prometheus text exposition, `/snapshot` as the JSON
+//! run report, `/healthz` with per-worker liveness) without pausing
+//! workers, and [`progress`] adds per-worker heartbeat cells, campaign
+//! ETA and a stall watchdog. Both are opt-in: nothing binds a socket or
+//! spawns a thread until [`serve::serve`] / [`progress::set_enabled`] /
+//! [`progress::start_watchdog`] are called, and while the progress layer
+//! is off a [`progress::heartbeat`] costs one relaxed atomic load.
+//!
 //! # Example
 //!
 //! ```
@@ -72,8 +83,11 @@
 pub mod diff;
 pub mod event;
 mod json;
+pub mod progress;
+pub mod prom;
 pub mod registry;
 pub mod report;
+pub mod serve;
 pub mod span;
 
 pub use event::{
@@ -81,6 +95,7 @@ pub use event::{
 };
 pub use registry::{Counter, Histogram, HistogramSnapshot, Registry};
 pub use report::{Report, SpanNode, ThreadReport};
+pub use serve::ObsServer;
 pub use span::{set_thread_label, span, Span, SpanRecord};
 
 /// The process-wide registry every instrumentation call goes through.
@@ -156,11 +171,12 @@ pub fn capture() -> Report {
 }
 
 /// Clears all recorded data: counters (live cells and banked totals),
-/// histograms, span logs, event rings and caller-set metadata. Thread
-/// registrations and the enable flags are kept. Intended for tests and
-/// between independent runs.
+/// histograms, span logs, event rings, heartbeat cells and caller-set
+/// metadata. Thread registrations and the enable flags are kept.
+/// Intended for tests and between independent runs.
 pub fn reset() {
     registry().reset();
+    progress::clear();
 }
 
 #[cfg(test)]

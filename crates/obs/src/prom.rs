@@ -1,0 +1,305 @@
+//! Prometheus text exposition of the live registry, plus the metric-name
+//! sanitization helpers shared with the text-tree reporter.
+//!
+//! [`render`] walks the registry (counter totals, histogram buckets,
+//! span self-times) and the [`crate::progress`] layer (worker liveness,
+//! campaign progress) and produces [text exposition format 0.0.4] — the
+//! format every Prometheus-compatible scraper speaks. Everything is read
+//! from the same relaxed atomics the workers write, so a scrape never
+//! pauses a campaign.
+//!
+//! Dotted ssdm metric names (`atpg.campaign.detected`) become
+//! `ssdm_`-prefixed snake_case ([`prom_name`]); the sanitization is
+//! idempotent, so feeding an already-sanitized name back through is the
+//! identity — the property the round-trip tests pin.
+//!
+//! [text exposition format 0.0.4]:
+//!     https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write;
+
+use crate::progress;
+use crate::registry::{bucket_upper_bound, Registry};
+
+/// Sanitizes a dotted ssdm metric name into a valid Prometheus metric
+/// name: `ssdm_` prefix (unless already present) plus lowercased
+/// snake_case, with every character outside `[a-zA-Z0-9_:]` replaced by
+/// `_`. Idempotent: `prom_name(prom_name(n)) == prom_name(n)`.
+pub fn prom_name(dotted: &str) -> String {
+    let mut out = String::with_capacity(dotted.len() + 5);
+    if !dotted.starts_with("ssdm_") {
+        out.push_str("ssdm_");
+    }
+    // A metric name must not start with a digit; the `ssdm_` prefix
+    // guarantees that, and an already-prefixed input starts with `s`.
+    for ch in dotted.chars() {
+        match ch {
+            'a'..='z' | '0'..='9' | '_' | ':' => out.push(ch),
+            'A'..='Z' => out.push(ch.to_ascii_lowercase()),
+            _ => out.push('_'),
+        }
+    }
+    out
+}
+
+/// Escapes a label value for Prometheus exposition (backslash, quote and
+/// newline, per the format spec).
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Replaces control characters in a metric/span name with `_` for
+/// single-line display. Shared by the `/metrics` exporter's label values
+/// and [`crate::Report::to_text`]'s tree — dotted names pass through
+/// unchanged, so well-formed reports render byte-identically.
+pub fn sanitize_display(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_control() { '_' } else { c })
+        .collect()
+}
+
+/// Renders the full `/metrics` payload from the live registry and
+/// progress layer. Reads only relaxed atomics and short-lived per-name
+/// locks — no worker is paused and no recording is suspended.
+pub fn render(registry: &Registry) -> String {
+    let mut out = String::new();
+
+    // Build info first: guarantees a well-formed, non-empty exposition
+    // even before any engine has recorded a metric.
+    out.push_str("# TYPE ssdm_build_info gauge\n");
+    let _ = writeln!(
+        out,
+        "ssdm_build_info{{version=\"{}\"}} 1",
+        escape_label_value(env!("CARGO_PKG_VERSION"))
+    );
+
+    for (name, total) in registry.counter_totals() {
+        let metric = prom_name(&name);
+        let _ = writeln!(out, "# TYPE {metric}_total counter");
+        let _ = writeln!(out, "{metric}_total {total}");
+    }
+
+    let snapshots = registry.histogram_snapshots();
+    for (name, buckets) in registry.histogram_buckets() {
+        let Some(snap) = snapshots.get(&name) else {
+            continue;
+        };
+        let metric = prom_name(&name);
+        let _ = writeln!(out, "# TYPE {metric} histogram");
+        let mut cumulative = 0u64;
+        let last_nonempty = buckets.iter().rposition(|&n| n > 0);
+        for (b, &n) in buckets.iter().enumerate() {
+            cumulative += n;
+            // Trailing empty buckets collapse into +Inf; intermediate
+            // ones still render so the cumulative series stays dense
+            // enough for quantile math.
+            if last_nonempty.is_some_and(|last| b > last) {
+                break;
+            }
+            let _ = writeln!(
+                out,
+                "{metric}_bucket{{le=\"{}\"}} {cumulative}",
+                bucket_upper_bound(b)
+            );
+        }
+        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", snap.count);
+        let _ = writeln!(out, "{metric}_sum {}", snap.sum);
+        let _ = writeln!(out, "{metric}_count {}", snap.count);
+    }
+
+    // Span self-times as gauges labelled by tree path. Snapshotting the
+    // span logs clones each thread's record list under its own short
+    // mutex — the same locks the Drop of a span takes, never a global
+    // pause.
+    let tree = crate::capture().span_tree();
+    if !tree.is_empty() {
+        out.push_str("# TYPE ssdm_span_self_seconds gauge\n");
+        let mut path = String::new();
+        render_span_gauges(&mut out, &tree, &mut path);
+    }
+
+    let workers = progress::worker_health();
+    if !workers.is_empty() {
+        out.push_str("# TYPE ssdm_worker_done_total counter\n");
+        for w in &workers {
+            let _ = writeln!(
+                out,
+                "ssdm_worker_done_total{{worker=\"{}\"}} {}",
+                escape_label_value(&sanitize_display(&w.name)),
+                w.done
+            );
+        }
+        out.push_str("# TYPE ssdm_worker_idle_seconds gauge\n");
+        out.push_str("# TYPE ssdm_worker_up gauge\n");
+        out.push_str("# TYPE ssdm_worker_stalled gauge\n");
+        for w in &workers {
+            let label = escape_label_value(&sanitize_display(&w.name));
+            if let Some(idle_ns) = w.idle_ns {
+                let _ = writeln!(
+                    out,
+                    "ssdm_worker_idle_seconds{{worker=\"{label}\"}} {:.3}",
+                    idle_ns as f64 / 1e9
+                );
+            }
+            let _ = writeln!(
+                out,
+                "ssdm_worker_up{{worker=\"{label}\"}} {}",
+                if w.finished { 0 } else { 1 }
+            );
+            let _ = writeln!(
+                out,
+                "ssdm_worker_stalled{{worker=\"{label}\"}} {}",
+                if w.stalled { 1 } else { 0 }
+            );
+        }
+    }
+
+    if let Some(progress) = progress::campaign_progress() {
+        out.push_str("# TYPE ssdm_campaign_faults_total gauge\n");
+        let _ = writeln!(out, "ssdm_campaign_faults_total {}", progress.total);
+        out.push_str("# TYPE ssdm_campaign_faults_done gauge\n");
+        let _ = writeln!(out, "ssdm_campaign_faults_done {}", progress.done);
+        out.push_str("# TYPE ssdm_campaign_elapsed_seconds gauge\n");
+        let _ = writeln!(
+            out,
+            "ssdm_campaign_elapsed_seconds {:.3}",
+            progress.elapsed_ns as f64 / 1e9
+        );
+        if let Some(eta_ns) = progress.eta_ns {
+            out.push_str("# TYPE ssdm_campaign_eta_seconds gauge\n");
+            let _ = writeln!(out, "ssdm_campaign_eta_seconds {:.3}", eta_ns as f64 / 1e9);
+        }
+    }
+    out
+}
+
+fn render_span_gauges(
+    out: &mut String,
+    nodes: &std::collections::BTreeMap<String, crate::SpanNode>,
+    path: &mut String,
+) {
+    for (name, node) in nodes {
+        let saved = path.len();
+        if !path.is_empty() {
+            path.push('/');
+        }
+        path.push_str(name);
+        let _ = writeln!(
+            out,
+            "ssdm_span_self_seconds{{span=\"{}\"}} {:.6}",
+            escape_label_value(&sanitize_display(path)),
+            node.self_ns() as f64 / 1e9
+        );
+        render_span_gauges(out, &node.children, path);
+        path.truncate(saved);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_sanitize_to_prefixed_snake_case() {
+        assert_eq!(
+            prom_name("atpg.campaign.detected"),
+            "ssdm_atpg_campaign_detected"
+        );
+        assert_eq!(prom_name("sta.worker.3"), "ssdm_sta_worker_3");
+        assert_eq!(prom_name("Replay-Timed µs"), "ssdm_replay_timed__s");
+        assert_eq!(prom_name("stall.detected"), "ssdm_stall_detected");
+    }
+
+    #[test]
+    fn sanitization_round_trips() {
+        // Idempotence: a sanitized name passes through unchanged, so the
+        // exporter can re-render its own output names forever.
+        for name in [
+            "atpg.campaign.detected",
+            "sta.refine.cone_gates",
+            "weird name/with:chars",
+            "itr.refine",
+            "ssdm_already_clean",
+        ] {
+            let once = prom_name(name);
+            assert_eq!(prom_name(&once), once, "prom_name must be idempotent");
+            assert!(once.starts_with("ssdm_"));
+            assert!(once
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == ':'));
+        }
+    }
+
+    #[test]
+    fn label_values_escape_quotes_and_newlines() {
+        assert_eq!(escape_label_value(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(sanitize_display("a\tb\u{1}c"), "a_b_c");
+        assert_eq!(sanitize_display("atpg.worker.0"), "atpg.worker.0");
+    }
+
+    #[test]
+    fn render_emits_valid_exposition() {
+        let _guard = crate::tests::serial();
+        crate::reset();
+        crate::set_enabled(true);
+        let c = crate::counter("test.prom.counter");
+        c.add(7);
+        let h = crate::histogram("test.prom.hist");
+        h.record(3);
+        h.record(100);
+        {
+            let _s = crate::span("test.prom.span");
+        }
+        crate::set_enabled(false);
+        let text = render(crate::registry());
+        assert!(text.contains("# TYPE ssdm_build_info gauge"));
+        assert!(text.contains("# TYPE ssdm_test_prom_counter_total counter"));
+        assert!(text.contains("ssdm_test_prom_counter_total 7"));
+        assert!(text.contains("# TYPE ssdm_test_prom_hist histogram"));
+        assert!(text.contains("ssdm_test_prom_hist_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("ssdm_test_prom_hist_sum 103"));
+        assert!(text.contains("ssdm_test_prom_hist_count 2"));
+        assert!(text.contains("ssdm_span_self_seconds{span=\"test.prom.span\"}"));
+        // Cumulative buckets are monotone and end at the total count.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("ssdm_test_prom_hist_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket series must be cumulative: {line}");
+            last = v;
+        }
+        assert_eq!(last, 2);
+        crate::reset();
+    }
+
+    #[test]
+    fn render_includes_progress_layer() {
+        let _guard = crate::tests::serial();
+        crate::reset();
+        progress::set_enabled(true);
+        progress::set_campaign(50);
+        let hb = progress::heartbeat(|| "test.prom.worker".to_string());
+        hb.beat(1);
+        hb.done();
+        let text = render(crate::registry());
+        assert!(text.contains("ssdm_worker_done_total{worker=\"test.prom.worker\"} 1"));
+        assert!(text.contains("ssdm_worker_up{worker=\"test.prom.worker\"} 1"));
+        assert!(text.contains("ssdm_campaign_faults_total 50"));
+        assert!(text.contains("ssdm_campaign_faults_done 1"));
+        assert!(text.contains("ssdm_campaign_eta_seconds"));
+        progress::set_enabled(false);
+        crate::reset();
+    }
+}

@@ -183,6 +183,25 @@ impl Registry {
             .collect()
     }
 
+    /// Raw per-bucket sample counts of every histogram, by name. Bucket
+    /// `b` holds samples in `[2^(b−1), 2^b)` (bucket 0 holds zeros);
+    /// pair with [`bucket_upper_bound`] to render cumulative `le`
+    /// buckets for Prometheus exposition.
+    pub fn histogram_buckets(&self) -> BTreeMap<String, Vec<u64>> {
+        lock(&self.histograms)
+            .iter()
+            .map(|(name, core)| {
+                (
+                    name.clone(),
+                    core.buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect(),
+                )
+            })
+            .collect()
+    }
+
     /// Registers a new per-thread span log and assigns it a stable id.
     pub(crate) fn register_thread(&self) -> Arc<ThreadLog> {
         let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
@@ -356,6 +375,19 @@ fn bucket_of(value: u64) -> usize {
         0
     } else {
         (u64::BITS - value.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive upper bound of histogram bucket `bucket` — the largest
+/// value that lands in it (`2^b − 1`; bucket 0 holds only zero). The
+/// exact `le` threshold of that bucket in Prometheus exposition.
+pub fn bucket_upper_bound(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else if bucket >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bucket) - 1
     }
 }
 

@@ -191,6 +191,7 @@ impl Report {
             out.push_str("counters:\n");
             let width = self.counters.keys().map(String::len).max().unwrap_or(0);
             for (name, value) in &self.counters {
+                let name = crate::prom::sanitize_display(name);
                 let _ = writeln!(out, "  {name:<width$}  {value}");
             }
         }
@@ -202,7 +203,8 @@ impl Report {
                 }
                 let _ = writeln!(
                     out,
-                    "  {name}  {} / {:.1} / {} / {} / {}",
+                    "  {}  {} / {:.1} / {} / {} / {}",
+                    crate::prom::sanitize_display(name),
                     h.count,
                     h.mean(),
                     h.p50,
@@ -475,12 +477,19 @@ fn push_event_json(out: &mut String, record: &EventRecord) {
         Event::AtpgAbort { backtracks } => {
             let _ = write!(out, "\"backtracks\": {backtracks}");
         }
+        Event::WorkerStall { worker, idle_ms } => {
+            let _ = write!(out, "\"worker\": {worker}, \"idle_ms\": {idle_ms}");
+        }
     }
     out.push('}');
 }
 
 fn render_text_node(out: &mut String, name: &str, node: &SpanNode, indent: usize) {
     let pad = "  ".repeat(indent + 1);
+    // The display sanitizer is shared with the /metrics exporter: a
+    // span name with embedded control characters cannot break either
+    // the text tree's line structure or the exposition format.
+    let name = crate::prom::sanitize_display(name);
     let ms = node.total_ns as f64 / 1e6;
     let self_ms = node.self_ns() as f64 / 1e6;
     if node.children.is_empty() {

@@ -1,0 +1,348 @@
+//! Dependency-free HTTP exporter for live telemetry.
+//!
+//! [`serve`] binds a `std::net::TcpListener` and spawns **one** accept
+//! thread that answers each connection inline (bounded request size,
+//! per-connection I/O timeouts, `Connection: close`) — deliberately not
+//! a general web server, just enough HTTP/1.1 for `curl` and a
+//! Prometheus scraper:
+//!
+//! * `GET /metrics` — Prometheus text exposition ([`crate::prom`]),
+//! * `GET /snapshot` — the current `ssdm-obs/2` JSON run report,
+//!   mid-run,
+//! * `GET /healthz` — per-worker liveness and campaign progress as
+//!   JSON.
+//!
+//! Every response is computed from relaxed atomics and short per-name
+//! locks, so a scrape never pauses campaign workers. Nothing here runs
+//! unless [`serve`] is called: no listener is bound and no thread is
+//! spawned by merely linking the crate, which preserves the
+//! telemetry-disabled invariant.
+
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::json::{push_key, push_str_lit};
+use crate::progress;
+
+/// Cap on the accepted request head; everything we route on fits in the
+/// first line.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Per-connection read/write timeout: one slow client may delay the next
+/// scrape by at most this long, never wedge the exporter.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Handle to the running exporter; dropping it stops the accept thread
+/// and closes the listener.
+#[derive(Debug)]
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// The bound address — with port resolved, so `ADDR:0` callers learn
+    /// the actual port to scrape.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and closes the listener.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // The accept loop blocks in accept(); a throwaway connection to
+        // ourselves wakes it so it can observe the stop flag.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Binds `addr` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+/// port) and starts the single accept thread.
+///
+/// # Errors
+///
+/// Propagates the bind/spawn failure (address in use, permission, …).
+pub fn serve(addr: impl ToSocketAddrs) -> io::Result<ObsServer> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    let thread = std::thread::Builder::new()
+        .name("ssdm-obs-serve".to_string())
+        .spawn(move || accept_loop(&listener, &stop_flag))?;
+    Ok(ObsServer {
+        addr,
+        stop,
+        thread: Some(thread),
+    })
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        // A failed accept (transient resource exhaustion) or a client
+        // that dies mid-request must not take the exporter down.
+        if let Ok(stream) = conn {
+            let _ = handle(stream);
+        }
+    }
+}
+
+/// Reads one bounded request head and writes one response.
+fn handle(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let mut buf = [0u8; MAX_REQUEST_BYTES];
+    let mut len = 0usize;
+    loop {
+        if len == buf.len() {
+            return respond(&mut stream, 431, "text/plain", "request too large\n");
+        }
+        let n = stream.read(&mut buf[len..])?;
+        if n == 0 {
+            break;
+        }
+        len += n;
+        let head = &buf[..len];
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf[..len]);
+    let mut request_line = head.lines().next().unwrap_or("").split_whitespace();
+    let method = request_line.next().unwrap_or("");
+    let path = request_line.next().unwrap_or("");
+    let path = path.split('?').next().unwrap_or(path);
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "only GET is supported\n");
+    }
+    match path {
+        "/metrics" => respond(
+            &mut stream,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            &crate::prom::render(crate::registry()),
+        ),
+        "/snapshot" => respond(
+            &mut stream,
+            200,
+            "application/json; charset=utf-8",
+            &crate::capture().to_json(),
+        ),
+        "/healthz" => respond(
+            &mut stream,
+            200,
+            "application/json; charset=utf-8",
+            &healthz_json(),
+        ),
+        _ => respond(
+            &mut stream,
+            404,
+            "text/plain",
+            "not found; try /metrics, /snapshot or /healthz\n",
+        ),
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        431 => "Request Header Fields Too Large",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Renders the `/healthz` body: overall status (`ok`, or `stalled` when
+/// any worker is currently flagged), per-worker liveness and — when a
+/// campaign is running — its progress and ETA.
+fn healthz_json() -> String {
+    let workers = progress::worker_health();
+    let stalled = workers.iter().any(|w| w.stalled);
+    let mut out = String::from("{");
+    push_key(&mut out, "status");
+    push_str_lit(&mut out, if stalled { "stalled" } else { "ok" });
+    out.push_str(", ");
+    push_key(&mut out, "workers");
+    out.push('[');
+    for (i, w) in workers.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push('{');
+        push_key(&mut out, "name");
+        push_str_lit(&mut out, &w.name);
+        out.push_str(", ");
+        push_key(&mut out, "done");
+        let _ = write!(out, "{}", w.done);
+        out.push_str(", ");
+        push_key(&mut out, "idle_ms");
+        match w.idle_ns {
+            Some(ns) => {
+                let _ = write!(out, "{}", ns / 1_000_000);
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(", ");
+        push_key(&mut out, "current");
+        match w.current {
+            Some(item) => {
+                let _ = write!(out, "{item}");
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str(", ");
+        push_key(&mut out, "finished");
+        let _ = write!(out, "{}", w.finished);
+        out.push_str(", ");
+        push_key(&mut out, "stalled");
+        let _ = write!(out, "{}", w.stalled);
+        out.push('}');
+    }
+    out.push(']');
+    if let Some(p) = progress::campaign_progress() {
+        out.push_str(", ");
+        push_key(&mut out, "campaign");
+        let _ = write!(
+            out,
+            "{{\"total\": {}, \"done\": {}, \"elapsed_ms\": {}, \"eta_ms\": ",
+            p.total,
+            p.done,
+            p.elapsed_ns / 1_000_000
+        );
+        match p.eta_ns {
+            Some(ns) => {
+                let _ = write!(out, "{}", ns / 1_000_000);
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (u16, String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header/body split");
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status code");
+        (status, head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn routes_serve_metrics_snapshot_and_healthz() {
+        let _guard = crate::tests::serial();
+        crate::reset();
+        let c = crate::counter("test.serve.counter");
+        c.add(11);
+        progress::set_enabled(true);
+        progress::set_campaign(4);
+        let hb = progress::heartbeat(|| "test.serve.worker".to_string());
+        hb.beat(0);
+        hb.done();
+
+        let server = serve("127.0.0.1:0").expect("bind ephemeral port");
+        let addr = server.addr();
+        assert_ne!(addr.port(), 0, "ephemeral port resolved");
+
+        let (status, head, body) = get(addr, "/metrics");
+        assert_eq!(status, 200);
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("# TYPE ssdm_build_info gauge"));
+        assert!(body.contains("ssdm_test_serve_counter_total 11"));
+        assert!(body.contains("ssdm_worker_done_total{worker=\"test.serve.worker\"} 1"));
+
+        let (status, head, body) = get(addr, "/snapshot");
+        assert_eq!(status, 200);
+        assert!(head.contains("application/json"));
+        let parsed = crate::diff::parse_report(&body).expect("snapshot is a valid run report");
+        assert_eq!(parsed.schema, "ssdm-obs/2");
+        assert_eq!(parsed.metrics["counter:test.serve.counter"], 11.0);
+
+        let (status, _head, body) = get(addr, "/healthz");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"status\": \"ok\""));
+        assert!(body.contains("\"name\": \"test.serve.worker\""));
+        assert!(body.contains("\"total\": 4, \"done\": 1"));
+
+        let (status, _head, _body) = get(addr, "/nope");
+        assert_eq!(status, 404);
+
+        // Non-GET is refused without crashing the accept loop.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 405"));
+
+        // Scrapes are monotone: counters only grow between scrapes.
+        c.add(5);
+        let (_, _, body) = get(addr, "/metrics");
+        assert!(body.contains("ssdm_test_serve_counter_total 16"));
+
+        server.stop();
+        assert!(
+            TcpStream::connect_timeout(&addr, Duration::from_millis(500)).is_err(),
+            "listener closed after stop"
+        );
+        progress::set_enabled(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn oversized_requests_are_bounded() {
+        let _guard = crate::tests::serial();
+        let server = serve("127.0.0.1:0").expect("bind");
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let junk = vec![b'a'; MAX_REQUEST_BYTES + 100];
+        // The server may close the socket while we are still writing;
+        // both outcomes (written then 431, or write error) are bounded.
+        let _ = stream.write_all(&junk);
+        let mut response = String::new();
+        let _ = stream.read_to_string(&mut response);
+        if !response.is_empty() {
+            assert!(response.starts_with("HTTP/1.1 431"));
+        }
+        server.stop();
+    }
+}

@@ -483,10 +483,21 @@ impl<'a> IncrementalSta<'a> {
                             if ssdm_obs::enabled() {
                                 ssdm_obs::set_thread_label(format!("sta.worker.{w}"));
                             }
+                            // Heartbeat cells are keyed by name, so the
+                            // per-level thread pools of one pass all
+                            // accumulate into stable `sta.worker.{w}`
+                            // lanes (one relaxed load when the progress
+                            // layer is off).
+                            let heartbeat =
+                                ssdm_obs::progress::heartbeat(|| format!("sta.worker.{w}"));
+                            heartbeat.beat(level as u64);
                             let _span = ssdm_obs::span("sta.level");
-                            ids.iter()
+                            let out: Result<Vec<EvalOutput>, StaError> = ids
+                                .iter()
                                 .map(|&i| engine.eval_gate_uncached(i).map(|(lt, du)| (i, lt, du)))
-                                .collect()
+                                .collect();
+                            heartbeat.done();
+                            out
                         })
                     })
                     .collect();

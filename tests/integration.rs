@@ -420,4 +420,53 @@ mod cli {
         ]);
         assert_eq!(out.status.code(), Some(1));
     }
+
+    #[test]
+    fn obs_diff_fail_on_missing_gates_on_vanished_metrics() {
+        let dir = std::env::temp_dir();
+        let base = dir.join("ssdm_obs_diff_missing_base.json");
+        let cur = dir.join("ssdm_obs_diff_missing_cur.json");
+        // The baseline has a counter the candidate lost entirely — the
+        // shape of a span or counter silently compiled out.
+        std::fs::write(
+            &base,
+            r#"{"schema": "ssdm-obs/1", "counters": {"atpg.podem.backtracks": 100, "atpg.sites.dropped": 40}, "histograms": {}, "spans": {}, "threads": []}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            &cur,
+            r#"{"schema": "ssdm-obs/1", "counters": {"atpg.podem.backtracks": 100}, "histograms": {}, "spans": {}, "threads": []}"#,
+        )
+        .unwrap();
+        let base = base.to_str().unwrap();
+        let cur = cur.to_str().unwrap();
+
+        // Without the flag the vanished counter is reported but not
+        // gating: exit 0.
+        let out = cli(&["obs-diff", base, cur]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "missing metric gated without --fail-on-missing: {}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("only-in-baseline"), "{text}");
+
+        // With it, the same diff exits 1 and names the count.
+        let out = cli(&["obs-diff", base, cur, "--fail-on-missing"]);
+        assert_eq!(out.status.code(), Some(1));
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains("absent from the current report"), "{err}");
+
+        // Metrics only in the *candidate* (new instrumentation) never
+        // trip the flag.
+        let out = cli(&["obs-diff", cur, base, "--fail-on-missing"]);
+        assert_eq!(
+            out.status.code(),
+            Some(0),
+            "new metric tripped --fail-on-missing: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
 }

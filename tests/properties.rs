@@ -19,6 +19,28 @@ fn library() -> &'static CellLibrary {
     })
 }
 
+/// One live-telemetry exporter shared by every instrumented proptest case,
+/// bound lazily on an ephemeral port.
+fn exporter() -> &'static ssdm::obs::ObsServer {
+    static SERVER: OnceLock<ssdm::obs::ObsServer> = OnceLock::new();
+    SERVER.get_or_init(|| {
+        ssdm::obs::serve::serve("127.0.0.1:0").expect("bind ephemeral exporter port")
+    })
+}
+
+/// Minimal GET against the exporter; returns the response body.
+fn scrape(addr: std::net::SocketAddr, path: &str) -> String {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect to exporter");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+        .split_once("\r\n\r\n")
+        .map(|(_, body)| body.to_string())
+        .unwrap_or(response)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -273,11 +295,13 @@ proptest! {
 
     /// Enabling `ssdm-obs` instrumentation never changes what a campaign
     /// decides: per-site outcomes and statistics are bit-identical with
-    /// spans, histograms and counters recording, at 1, 2 and 8 workers.
+    /// spans, histograms, counters, worker heartbeats AND a live
+    /// `/metrics` exporter scraping mid-suite, at 1, 2 and 8 workers.
     #[test]
     fn instrumentation_never_changes_campaign_outcomes(seed in 0u64..100) {
         use ssdm::atpg::{AtpgConfig, AtpgDriver};
         use ssdm::netlist::coupling_sites;
+        let server = exporter();
         let cfg = GeneratorConfig::iscas_like("obs", 6, 3, 20, seed);
         let circuit = generate(&cfg);
         let lib = library();
@@ -292,9 +316,16 @@ proptest! {
                 .run(&sites)
                 .unwrap();
             ssdm::obs::set_enabled(true);
+            ssdm::obs::progress::set_enabled(true);
             let instrumented = AtpgDriver::new(&circuit, lib, config.clone())
                 .with_jobs(jobs)
                 .run(&sites);
+            // Scrape while heartbeat cells are populated; the exporter
+            // answers from atomics and must not disturb the campaign.
+            let metrics = scrape(server.addr(), "/metrics");
+            prop_assert!(metrics.contains("# TYPE ssdm_build_info gauge"));
+            prop_assert!(metrics.contains("ssdm_worker_done_total"), "worker gauges missing:\n{}", metrics);
+            ssdm::obs::progress::set_enabled(false);
             ssdm::obs::set_enabled(false);
             let instrumented = instrumented.unwrap();
             prop_assert_eq!(
