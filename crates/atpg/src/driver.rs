@@ -309,12 +309,13 @@ impl<'a> AtpgDriver<'a> {
         // /healthz liveness view and the ETA; they never influence
         // scheduling, so outcomes stay bit-identical either way.
         ssdm_obs::progress::set_campaign(sites.len() as u64);
-        let (speculative, timing) = if self.jobs > 1 && sites.len() > 1 {
+        let speculated = self.jobs > 1 && sites.len() > 1;
+        let (speculative, timing) = if speculated {
             self.speculate(sites)?
         } else {
             (vec![None; sites.len()], IncrementalStats::default())
         };
-        self.resolve(sites, speculative, timing)
+        self.resolve(sites, speculative, timing, speculated)
     }
 
     /// Parallel phase: workers claim sites from a shared cursor, searching
@@ -403,6 +404,7 @@ impl<'a> AtpgDriver<'a> {
         sites: &[CrosstalkSite],
         speculative: Vec<Option<FaultOutcome>>,
         mut timing: IncrementalStats,
+        speculated: bool,
     ) -> Result<CampaignResult, AtpgError> {
         let _span = ssdm_obs::span("atpg.resolve");
         // Campaign-scoped counter instances under stable names: the
@@ -421,11 +423,14 @@ impl<'a> AtpgDriver<'a> {
         let mut outcomes: Vec<SiteOutcome> = Vec::with_capacity(n);
         for (j, slot) in speculative.into_iter().enumerate() {
             heartbeat.beat(j as u64);
-            // Progress accounting: the speculative workers already
-            // retired every site they claimed, so the resolve lane only
-            // counts sites it decides fresh (serial campaigns, or sites
-            // the speculative phase skipped).
-            let fresh = slot.is_none();
+            // Progress accounting: when the speculative phase ran, its
+            // shared cursor claimed every site and each claim retired the
+            // site through the worker's heartbeat — drop-skips included,
+            // even though those leave no outcome behind. The resolve lane
+            // therefore never counts after a parallel pass (not even for
+            // sites it re-decides); on serial campaigns it retires each
+            // site itself.
+            let fresh = !speculated;
             if let Some(by) = dropped_by[j] {
                 detected.incr();
                 dropped.incr();

@@ -1,0 +1,103 @@
+//! Campaign progress accounting, pinned in its own test binary.
+//!
+//! The `ssdm-obs` progress layer is process-global: any concurrently
+//! running campaign would clear and repopulate the heartbeat cells this
+//! test asserts on. An integration-test file compiles to its own
+//! process, so the exact-count invariant below — every site retired
+//! exactly once, whether a speculative worker searched it, drop-skipped
+//! it, or the resolve pass decided it — can be checked deterministically.
+
+use ssdm_atpg::{AtpgConfig, AtpgDriver};
+use ssdm_cells::{CellLibrary, CharConfig};
+use ssdm_netlist::{Circuit, CircuitBuilder, CrosstalkSite, GateType};
+
+fn library() -> &'static CellLibrary {
+    use std::sync::OnceLock;
+    static LIB: OnceLock<CellLibrary> = OnceLock::new();
+    LIB.get_or_init(|| {
+        CellLibrary::characterize_standard(&CharConfig::fast()).expect("characterization")
+    })
+}
+
+/// `k` independent pairs of inverter chains whose primary inputs couple
+/// both ways (the `twin_chain` drop fixture from the driver unit tests,
+/// replicated). Sites are ordered with every aggressor-direction site
+/// before any mirror, so by the time the speculative cursor reaches a
+/// mirror its dropper has already been searched — parallel runs retire
+/// mirrors through the drop-skip path, the one that used to double-count.
+fn twin_chains(k: usize) -> (Circuit, Vec<CrosstalkSite>) {
+    let mut b = CircuitBuilder::new("twins");
+    for p in 0..k {
+        let (a, v) = (format!("a{p}"), format!("v{p}"));
+        b.input(&a);
+        b.input(&v);
+        b.gate(format!("v1_{p}"), GateType::Not, &[&v]).unwrap();
+        b.gate(format!("v2_{p}"), GateType::Not, &[&format!("v1_{p}")])
+            .unwrap();
+        b.gate(format!("a1_{p}"), GateType::Not, &[&a]).unwrap();
+        b.gate(format!("a2_{p}"), GateType::Not, &[&format!("a1_{p}")])
+            .unwrap();
+        b.output(format!("v2_{p}"));
+        b.output(format!("a2_{p}"));
+    }
+    let c = b.build().unwrap();
+    let mut sites = Vec::with_capacity(2 * k);
+    for p in 0..k {
+        let a = c.find(&format!("a{p}")).unwrap();
+        let v = c.find(&format!("v{p}")).unwrap();
+        sites.push(CrosstalkSite {
+            aggressor: a,
+            victim: v,
+        });
+    }
+    for p in 0..k {
+        let a = c.find(&format!("a{p}")).unwrap();
+        let v = c.find(&format!("v{p}")).unwrap();
+        sites.push(CrosstalkSite {
+            aggressor: v,
+            victim: a,
+        });
+    }
+    (c, sites)
+}
+
+/// A finished campaign's progress reads exactly 100%: speculative
+/// workers retire the sites they claim (searched *and* drop-skipped),
+/// and the resolve pass must not count any of them again — `done` equal
+/// to, never above, `total`, at every worker count.
+#[test]
+fn campaign_progress_counts_each_site_exactly_once() {
+    const K: usize = 8;
+    let (c, sites) = twin_chains(K);
+    let lib = library();
+    let config = AtpgConfig::for_circuit(&c, lib).expect("config");
+    ssdm_obs::progress::set_enabled(true);
+    for round in 0..10 {
+        for jobs in [1usize, 2, 4] {
+            let r = AtpgDriver::new(&c, lib, config.clone())
+                .with_jobs(jobs)
+                .run(&sites)
+                .expect("campaign");
+            assert_eq!(
+                r.stats.dropped, K,
+                "every mirror site must be dropped by its pair"
+            );
+            let progress = ssdm_obs::progress::campaign_progress().expect("campaign announced");
+            assert_eq!(progress.total, 2 * K as u64);
+            assert_eq!(
+                progress.done, progress.total,
+                "round {round}, jobs {jobs}: done must end exactly at total"
+            );
+            assert!((progress.fraction() - 1.0).abs() < 1e-12);
+        }
+    }
+    ssdm_obs::progress::set_enabled(false);
+    // The invariant is only meaningful if the drop-skip claim path — the
+    // one that used to double-count — actually ran: across 10 rounds of
+    // 2- and 4-worker campaigns with every dropper searched before its
+    // mirror is claimed, speculative workers must have skipped sites.
+    assert!(
+        ssdm_obs::counter_total("atpg.worker.skipped") > 0,
+        "parallel rounds never exercised the drop-skip path"
+    );
+}

@@ -88,13 +88,19 @@ pub fn render(registry: &Registry) -> String {
         let _ = writeln!(out, "{metric}_total {total}");
     }
 
+    // The bucket read comes first and is the single source of every
+    // cumulative value (`le` series, +Inf, `_count`): the buckets are
+    // live relaxed atomics, so a record landing between two separate
+    // reads could otherwise leave the last bucket above a
+    // separately-read count — a non-monotone (invalid) series. Only
+    // `_sum` comes from the snapshot, read after the buckets so it
+    // covers at least the records the buckets saw.
+    let buckets_by_name = registry.histogram_buckets();
     let snapshots = registry.histogram_snapshots();
-    for (name, buckets) in registry.histogram_buckets() {
-        let Some(snap) = snapshots.get(&name) else {
-            continue;
-        };
+    for (name, buckets) in buckets_by_name {
         let metric = prom_name(&name);
         let _ = writeln!(out, "# TYPE {metric} histogram");
+        let total: u64 = buckets.iter().sum();
         let mut cumulative = 0u64;
         let last_nonempty = buckets.iter().rposition(|&n| n > 0);
         for (b, &n) in buckets.iter().enumerate() {
@@ -111,9 +117,10 @@ pub fn render(registry: &Registry) -> String {
                 bucket_upper_bound(b)
             );
         }
-        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {}", snap.count);
-        let _ = writeln!(out, "{metric}_sum {}", snap.sum);
-        let _ = writeln!(out, "{metric}_count {}", snap.count);
+        let _ = writeln!(out, "{metric}_bucket{{le=\"+Inf\"}} {total}");
+        let sum = snapshots.get(&name).map_or(0, |s| s.sum);
+        let _ = writeln!(out, "{metric}_sum {sum}");
+        let _ = writeln!(out, "{metric}_count {total}");
     }
 
     // Span self-times as gauges labelled by tree path. Snapshotting the

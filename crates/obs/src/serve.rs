@@ -20,7 +20,7 @@
 
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -60,8 +60,18 @@ impl ObsServer {
     fn shutdown(&mut self) {
         self.stop.store(true, Ordering::Relaxed);
         // The accept loop blocks in accept(); a throwaway connection to
-        // ourselves wakes it so it can observe the stop flag.
-        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        // ourselves wakes it so it can observe the stop flag. An
+        // unspecified bind address (0.0.0.0 / ::) listens on every
+        // interface but is not reliably connectable itself, so aim the
+        // wake-up at loopback on the bound port.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                IpAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                IpAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, IO_TIMEOUT);
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }
@@ -327,6 +337,26 @@ mod tests {
         );
         progress::set_enabled(false);
         crate::reset();
+    }
+
+    #[test]
+    fn stop_unblocks_an_unspecified_bind() {
+        let _guard = crate::tests::serial();
+        // Binding 0.0.0.0 must still shut down promptly: the wake-up
+        // connection targets loopback, not the (unconnectable on some
+        // platforms) unspecified address.
+        let server = serve("0.0.0.0:0").expect("bind unspecified");
+        let port = server.addr().port();
+        let loopback: SocketAddr = ([127, 0, 0, 1], port).into();
+        let (status, _head, body) = get(loopback, "/metrics");
+        assert_eq!(status, 200);
+        assert!(body.contains("ssdm_build_info"));
+        let start = std::time::Instant::now();
+        server.stop();
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "stop() must not wait for a real connection"
+        );
     }
 
     #[test]
